@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Analyzer Array Bechamel Benchmark Bytes Devices Experiments Hashtbl Hypervisor Instance List Measure Memory Printf Report Sim Staged Sys Test Time Toolkit

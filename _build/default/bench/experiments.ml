@@ -1,0 +1,780 @@
+(* Every table and figure of the paper's evaluation (§6), regenerated
+   against the simulated substrate.  Absolute numbers come from the
+   calibrated cost model (see Paradice.Config and DESIGN.md); the
+   comparisons and crossovers are the reproduced result. *)
+
+open Baselines
+
+(* scale factor: CLI can shrink run lengths for quick smoke runs *)
+let scale = ref 1.0
+
+let scaled n = max 1 (int_of_float (float_of_int n *. !scale))
+
+(* ------------------------------------------------------------------ *)
+(* §6.1.1: no-op file operation latency                                *)
+(* ------------------------------------------------------------------ *)
+
+let noop () =
+  Report.heading "§6.1.1 — No-op file operation latency";
+  let measure mode =
+    let _machine, env = Setup.make ~devices:[ Setup.Null ] mode in
+    Workloads.Noop_bench.run env ~ops:(scaled 2000) ()
+  in
+  let rows =
+    List.map
+      (fun mode ->
+        let avg = measure mode in
+        [ Setup.mode_label mode; Report.f2 avg ])
+      [
+        Setup.Native; Setup.Device_assign;
+        Setup.Paradice Paradice.Config.default;
+        Setup.Paradice Paradice.Config.polling;
+      ]
+  in
+  Report.table ~header:[ "config"; "added latency (us/op)" ] rows;
+  Report.note "paper: ~35us with interrupts (two inter-VM interrupts), ~2us with polling"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: netmap transmit rate vs batch size                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  Report.heading "Figure 2 — netmap TX rate (Mpps), 64-byte packets";
+  let batches = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  let modes =
+    [
+      Setup.Native; Setup.Device_assign;
+      Setup.Paradice Paradice.Config.default;
+      Setup.Paradice_freebsd Paradice.Config.default;
+      Setup.Paradice Paradice.Config.polling;
+    ]
+  in
+  let packets = scaled 20_000 in
+  let rows =
+    List.map
+      (fun batch ->
+        string_of_int batch
+        :: List.map
+             (fun mode ->
+               let _m, env = Setup.make ~devices:[ Setup.Netmap ] mode in
+               let r = Workloads.Netmap_pktgen.run env ~packets ~batch () in
+               Report.f3 r.Workloads.Netmap_pktgen.rate_mpps)
+             modes)
+      batches
+  in
+  Report.table
+    ~header:("batch" :: List.map Setup.mode_label modes)
+    rows;
+  Report.note "line rate at 64B on 1GbE = 1.488 Mpps";
+  Report.note
+    "paper: native/DA at line rate from small batches; Paradice(P) joins at batch >= 4;";
+  Report.note
+    "       Paradice with interrupts needs batch ~30-64; FreeBSD guest ~= Linux guest"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: OpenGL microbenchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gfx_modes =
+  [
+    Setup.Native; Setup.Device_assign;
+    Setup.Paradice Paradice.Config.default;
+    Setup.Paradice Paradice.Config.polling;
+  ]
+
+let fig3 () =
+  Report.heading "Figure 3 — OpenGL benchmarks (FPS, fullscreen teapot)";
+  let frames = scaled 60 in
+  let rows =
+    List.map
+      (fun profile ->
+        profile.Workloads.Gfx.name
+        :: List.map
+             (fun mode ->
+               let _m, env = Setup.make ~devices:[ Setup.Gpu ] mode in
+               let fps =
+                 Workloads.Gfx.run env ~profile ~width:1024 ~height:768 ~frames ()
+               in
+               Report.f1 fps)
+             gfx_modes)
+      Workloads.Gfx.opengl_benchmarks
+  in
+  Report.table ~header:("benchmark" :: List.map Setup.mode_label gfx_modes) rows;
+  Report.note
+    "paper: Paradice(interrupts) visibly below native on these cheap frames;";
+  Report.note "       Paradice(P) closes the gap to native"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: 3D games at four resolutions                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  Report.heading "Figure 4 — 3D HD games (FPS) at different resolutions";
+  let modes =
+    [
+      Setup.Native; Setup.Device_assign;
+      Setup.Paradice Paradice.Config.default;
+      Setup.Paradice (Paradice.Config.with_data_isolation Paradice.Config.default);
+    ]
+  in
+  let frames = scaled 40 in
+  List.iter
+    (fun game ->
+      Printf.printf "\n  -- %s --\n" game.Workloads.Gfx.name;
+      let rows =
+        List.map
+          (fun (w, h) ->
+            Printf.sprintf "%dx%d" w h
+            :: List.map
+                 (fun mode ->
+                   let _m, env = Setup.make ~devices:[ Setup.Gpu ] mode in
+                   let fps = Workloads.Gfx.run env ~profile:game ~width:w ~height:h ~frames () in
+                   Report.f1 fps)
+                 modes)
+          Workloads.Gfx.resolutions
+      in
+      Report.table ~header:("resolution" :: List.map Setup.mode_label modes) rows)
+    Workloads.Gfx.games;
+  Report.note "paper: Paradice close to native for demanding games;";
+  Report.note "       data isolation (DI) has no noticeable impact"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: OpenCL matrix multiplication                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  Report.heading "Figure 5 — OpenCL matmul experiment time (seconds)";
+  let modes =
+    [
+      Setup.Native; Setup.Device_assign;
+      Setup.Paradice Paradice.Config.default;
+      Setup.Paradice (Paradice.Config.with_data_isolation Paradice.Config.default);
+    ]
+  in
+  let orders = [ 1; 100; 500; 1000 ] in
+  let rows =
+    List.map
+      (fun order ->
+        string_of_int order
+        :: List.map
+             (fun mode ->
+               let _m, env = Setup.make ~devices:[ Setup.Gpu ] mode in
+               let t = Workloads.Opencl_matmul.run env ~order () in
+               Report.f2 t)
+             modes)
+      orders
+  in
+  Report.table ~header:("matrix order" :: List.map Setup.mode_label modes) rows;
+  Report.note "paper (log-log plot): all four configurations nearly identical;";
+  Report.note "       experiment time dominated by the GPU itself at large orders"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: concurrent guests on one GPU                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  Report.heading "Figure 6 — concurrent OpenCL (order 500) across guest VMs";
+  let reps = scaled 5 in
+  let rows =
+    List.map
+      (fun n_guests ->
+        let machine, _env =
+          Setup.make ~devices:[ Setup.Gpu ] ~extra_guests:(n_guests - 1)
+            (Setup.Paradice Paradice.Config.default)
+        in
+        let guests = Paradice.Machine.guests machine in
+        let times =
+          Workloads.Opencl_matmul.run_concurrent machine ~guests ~order:500 ~reps
+        in
+        string_of_int n_guests
+        :: List.init 3 (fun i ->
+               if i < Array.length times then Report.f2 times.(i) else "-"))
+      [ 1; 2; 3 ]
+  in
+  Report.table ~header:[ "# guest VMs"; "VM1 (s)"; "VM2 (s)"; "VM3 (s)" ] rows;
+  Report.note "paper: experiment time grows ~linearly with the number of guests";
+  Report.note "       (the GPU's processing time is shared)"
+
+(* ------------------------------------------------------------------ *)
+(* §6.1.5: mouse latency                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mouse () =
+  Report.heading "§6.1.5 — Mouse latency (event reported -> read reaches driver)";
+  let rows =
+    List.map
+      (fun mode ->
+        let _m, env = Setup.make ~devices:[ Setup.Mouse ] mode in
+        let avg = Workloads.Mouse_latency.run env ~moves:(scaled 50) () in
+        [ Setup.mode_label mode; Report.f1 avg ])
+      [
+        Setup.Native; Setup.Device_assign;
+        Setup.Paradice Paradice.Config.default;
+        Setup.Paradice Paradice.Config.polling;
+      ]
+  in
+  Report.table ~header:[ "config"; "latency (us)" ] rows;
+  Report.note "paper: native 39us, device assignment 55us,";
+  Report.note "       Paradice 296us (interrupts), 179us (polling) -- all << 1ms"
+
+(* ------------------------------------------------------------------ *)
+(* §6.1.6: camera and speaker                                          *)
+(* ------------------------------------------------------------------ *)
+
+let camera () =
+  Report.heading "§6.1.6 — Camera capture rate (FPS, MJPG)";
+  let modes =
+    [ Setup.Native; Setup.Device_assign; Setup.Paradice Paradice.Config.default ]
+  in
+  let rows =
+    List.map
+      (fun (w, h) ->
+        Printf.sprintf "%dx%d" w h
+        :: List.map
+             (fun mode ->
+               let _m, env = Setup.make ~devices:[ Setup.Camera ] mode in
+               let fps = Workloads.Camera_app.run env ~width:w ~height:h ~frames:(scaled 20) () in
+               Report.f1 fps)
+             modes)
+      [ (1280, 720); (1600, 896); (1920, 1080) ]
+  in
+  Report.table ~header:("resolution" :: List.map Setup.mode_label modes) rows;
+  Report.note "paper: ~29.5 FPS at every resolution for all configurations"
+
+let audio () =
+  Report.heading "§6.1.6 — Audio playback time (1.0 s PCM file)";
+  let rows =
+    List.map
+      (fun mode ->
+        let _m, env = Setup.make ~devices:[ Setup.Audio ] mode in
+        let t = Workloads.Audio_app.run env ~seconds:1.0 () in
+        [ Setup.mode_label mode; Report.f3 t ])
+      [ Setup.Native; Setup.Device_assign; Setup.Paradice Paradice.Config.default ]
+  in
+  Report.table ~header:[ "config"; "playback time (s)" ] rows;
+  Report.note "paper: all configurations take the same time (same audio rate)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: devices paravirtualized                                    *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Report.heading "Table 1 — I/O devices paravirtualized by this prototype";
+  Report.table
+    ~header:[ "class"; "device model"; "driver"; "class-specific module" ]
+    [
+      [ "GPU"; "Radeon HD 6450 (Evergreen model)"; "DRM/Radeon"; "Device_info.gpu" ];
+      [ "Input"; "Dell USB Mouse"; "evdev/usbmouse"; "Device_info.input" ];
+      [ "Input"; "Dell USB Keyboard"; "evdev/usbkbd"; "Device_info.input" ];
+      [ "Camera"; "Logitech HD Pro Webcam C920"; "V4L2/UVC"; "Device_info.camera" ];
+      [ "Audio"; "Intel Panther Point HD Audio"; "PCM/snd-hda-intel"; "Device_info.audio" ];
+      [ "Ethernet"; "Intel Gigabit (netmap)"; "netmap/e1000e"; "Device_info.ethernet" ];
+    ];
+  Report.note "paper: 5 classes, ~900 class-specific LoC of ~7700 total";
+  Report.note "       (~400 of the class-specific lines are GPU data isolation)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: code breakdown, measured from this repository              *)
+(* ------------------------------------------------------------------ *)
+
+let count_loc dir =
+  (* non-blank, non-comment-only lines of .ml files under [dir] *)
+  let rec files d =
+    if Sys.is_directory d then
+      Sys.readdir d |> Array.to_list
+      |> List.concat_map (fun f -> files (Filename.concat d f))
+    else if Filename.check_suffix d ".ml" then [ d ]
+    else []
+  in
+  List.fold_left
+    (fun acc file ->
+      let ic = open_in file in
+      let n = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if
+             String.length line > 0
+             && not (String.length line >= 2 && String.sub line 0 2 = "(*")
+           then incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      acc + !n)
+    0 (files dir)
+
+let table2 () =
+  Report.heading "Table 2 — code breakdown (this repository, measured)";
+  let root = "lib" in
+  if Sys.file_exists root && Sys.is_directory root then begin
+    let component label dir = [ label; dir; string_of_int (count_loc dir) ] in
+    let rows =
+      [
+        component "CVD + machine (generic)" "lib/core";
+        component "Hypervisor (generic)" "lib/hypervisor";
+        component "Memory virtualization (generic)" "lib/memory";
+        component "Kernel substrate (generic)" "lib/oskit";
+        component "Simulation engine (generic)" "lib/sim";
+        component "ioctl analyzer (generic)" "lib/analyzer";
+        component "Device models + drivers" "lib/devices";
+        component "Baselines" "lib/baselines";
+        component "Workloads" "lib/workloads";
+      ]
+    in
+    Report.table ~header:[ "component"; "directory"; "LoC" ] rows
+  end
+  else Report.note "run from the repository root to measure LoC";
+  Report.note "paper: 7700 LoC total, 6833 generic, ~900 class-specific"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: I/O virtualization strategies                              *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  Report.heading "Table 3 — comparing I/O virtualization solutions";
+  (* measured no-op latency per strategy, where implemented *)
+  let direct_lat =
+    let _m, env = Setup.make ~devices:[ Setup.Null ] Setup.Device_assign in
+    Workloads.Noop_bench.run env ~ops:(scaled 1000) ()
+  in
+  let paradice_lat =
+    let _m, env =
+      Setup.make ~devices:[ Setup.Null ] (Setup.Paradice Paradice.Config.default)
+    in
+    Workloads.Noop_bench.run env ~ops:(scaled 1000) ()
+  in
+  let emu = Emulation.make () in
+  let emu_lat = Workloads.Noop_bench.run (Emulation.env emu) ~ops:(scaled 1000) () in
+  let sv = Self_virt.make () in
+  let (_ : string) = Self_virt.assign_vf sv in
+  let sv_env = Self_virt.env sv in
+  let sv_lat =
+    (* the VF device registers under its own path *)
+    Workloads.Runner.run_to_completion sv_env (fun () ->
+        let task = Workloads.Runner.spawn_app sv_env ~name:"noop" in
+        let fd = Workloads.Runner.openf sv_env task "/dev/null-vf1" in
+        let t0 = Workloads.Runner.now_us sv_env in
+        let n = scaled 1000 in
+        for _ = 1 to n do
+          ignore
+            (Workloads.Runner.ioctl sv_env task fd ~cmd:Paradice.Machine.null_ioctl ~arg:0L)
+        done;
+        (Workloads.Runner.now_us sv_env -. t0) /. float_of_int n)
+  in
+  let lat_of = function
+    | "Emulation" -> Report.f1 emu_lat
+    | "Direct I/O" -> Report.f1 direct_lat
+    | "Self Virt." -> Report.f1 sv_lat
+    | "Paradice" -> Report.f1 paradice_lat
+    | _ -> "-"
+  in
+  let rows =
+    List.map
+      (fun (c : Strategy.capabilities) ->
+        [
+          c.Strategy.strategy;
+          Strategy.yesno c.Strategy.high_performance;
+          Strategy.yesno c.Strategy.low_development_effort;
+          Strategy.sharing_string c.Strategy.device_sharing;
+          Strategy.yesno c.Strategy.legacy_devices;
+          lat_of c.Strategy.strategy;
+        ])
+      Strategy.all
+  in
+  Report.table
+    ~header:
+      [ "strategy"; "high perf"; "low dev effort"; "sharing"; "legacy"; "noop us (measured)" ]
+    rows;
+  Report.note "capability columns as in the paper's Table 3; latency measured here"
+
+(* ------------------------------------------------------------------ *)
+(* §4.1 / §5.3: the static analyzer                                    *)
+(* ------------------------------------------------------------------ *)
+
+let analyzer () =
+  Report.heading "§4.1 — ioctl analyzer over the Radeon driver IR";
+  let t_new = Analyzer.Extract.analyze Analyzer.Radeon_ir.driver_3_2_0 in
+  let t_old = Analyzer.Extract.analyze Analyzer.Radeon_ir.driver_2_6_35 in
+  Report.table ~header:[ "metric"; "2.6.35"; "3.2.0"; "paper (3.2)" ]
+    [
+      [ "handlers analyzed";
+        string_of_int (t_old.Analyzer.Extract.static_count + t_old.Analyzer.Extract.jit_count);
+        string_of_int (t_new.Analyzer.Extract.static_count + t_new.Analyzer.Extract.jit_count);
+        "many" ];
+      [ "static entries"; string_of_int t_old.Analyzer.Extract.static_count;
+        string_of_int t_new.Analyzer.Extract.static_count; "-" ];
+      [ "JIT (nested-copy) commands";
+        string_of_int (List.length (Analyzer.Extract.nested_cmds t_old));
+        string_of_int (List.length (Analyzer.Extract.nested_cmds t_new));
+        "14" ];
+      [ "extracted slice lines"; string_of_int t_old.Analyzer.Extract.extracted_lines;
+        string_of_int t_new.Analyzer.Extract.extracted_lines; "~760" ];
+    ];
+  let stable =
+    List.for_all
+      (fun (h : Analyzer.Ir.handler) ->
+        Analyzer.Extract.entry_for t_old h.Analyzer.Ir.cmd
+        = Analyzer.Extract.entry_for t_new h.Analyzer.Ir.cmd)
+      Analyzer.Radeon_ir.driver_2_6_35.Analyzer.Ir.handlers
+  in
+  Report.note "memory operations of common commands identical across versions: %b" stable;
+  Report.note "paper: identical across 2.6.35 -> 3.2.0; four new commands to analyze"
+
+(* ------------------------------------------------------------------ *)
+(* Isolation demonstration + overhead                                  *)
+(* ------------------------------------------------------------------ *)
+
+let isolation () =
+  Report.heading "§6 — isolation: attacks blocked, overhead measured";
+  (* grant validation overhead on an ioctl with real memory operations
+     (INFO: one copy in, one nested copy out) — checks on vs off *)
+  let measure_info cfg =
+    let _m, env = Setup.make ~devices:[ Setup.Gpu ] (Setup.Paradice cfg) in
+    Workloads.Runner.run_to_completion env (fun () ->
+        let task = Workloads.Runner.spawn_app env ~name:"bench" in
+        let fd = Workloads.Gem.open_gpu env task in
+        ignore (Workloads.Gem.query_info env task fd ~request:Devices.Radeon_ioctl.info_device_id);
+        let n = scaled 500 in
+        let t0 = Workloads.Runner.now_us env in
+        for _ = 1 to n do
+          ignore
+            (Workloads.Gem.query_info env task fd
+               ~request:Devices.Radeon_ioctl.info_device_id)
+        done;
+        (Workloads.Runner.now_us env -. t0) /. float_of_int n)
+  in
+  let with_checks = measure_info Paradice.Config.default in
+  let without_checks =
+    measure_info
+      { Paradice.Config.default with Paradice.Config.validate_grants = false }
+  in
+  Report.table ~header:[ "configuration"; "INFO ioctl latency (us)" ]
+    [
+      [ "fault-isolation checks ON"; Report.f2 with_checks ];
+      [ "fault-isolation checks OFF (ablation)"; Report.f2 without_checks ];
+    ];
+  (* attack suite against a data-isolated two-guest GPU machine *)
+  let machine, _env =
+    Setup.make ~devices:[ Setup.Gpu ] ~extra_guests:1
+      (Setup.Paradice (Paradice.Config.with_data_isolation Paradice.Config.default))
+  in
+  let hyp = Paradice.Machine.hyp machine in
+  let driver_vm = Oskit.Kernel.vm (Paradice.Machine.driver_kernel machine) in
+  let guests = Paradice.Machine.guests machine in
+  let g1 = List.nth guests 0 in
+  let att = Option.get machine.Paradice.Machine.gpu in
+  let mgr = Option.get att.Paradice.Machine.isolation in
+  let blocked = ref [] and passed = ref [] in
+  let attack name f =
+    match f () with
+    | `Blocked -> blocked := name :: !blocked
+    | `Succeeded -> passed := name :: !passed
+  in
+  attack "driver VM reads protected pool page" (fun () ->
+      let spa = Hypervisor.Region.alloc_protected_page mgr ~rid:0 in
+      let gpas = Memory.Ept.gpas_of_spn (Hypervisor.Vm.ept driver_vm) (Memory.Addr.pfn spa) in
+      if
+        List.for_all
+          (fun gpa ->
+            match Hypervisor.Vm.read_gpa driver_vm ~gpa ~len:8 with
+            | _ -> false
+            | exception Memory.Fault.Ept_violation _ -> true)
+          gpas
+        && gpas <> []
+      then `Blocked
+      else `Succeeded);
+  attack "driver VM reads VRAM" (fun () ->
+      let gpas =
+        Memory.Ept.gpas_of_spn (Hypervisor.Vm.ept driver_vm)
+          (Memory.Addr.pfn (Devices.Gpu_hw.vram_base att.Paradice.Machine.gpu))
+      in
+      if
+        gpas <> []
+        && List.for_all
+             (fun gpa ->
+               match Hypervisor.Vm.read_gpa driver_vm ~gpa ~len:8 with
+               | _ -> false
+               | exception Memory.Fault.Ept_violation _ -> true)
+             gpas
+      then `Blocked
+      else `Succeeded);
+  attack "IOMMU mapping of another region's page" (fun () ->
+      let spa = Hypervisor.Region.alloc_protected_page mgr ~rid:0 in
+      match
+        Hypervisor.Region.request_iommu_map mgr ~rid:1 ~dma:0x7000000 ~spa
+          ~perms:Memory.Perm.rw
+      with
+      | () -> `Succeeded
+      | exception Hypervisor.Region.Isolation_violation _ -> `Blocked);
+  attack "GPU access outside its memory-controller bounds" (fun () ->
+      let gpu = att.Paradice.Machine.gpu in
+      let before = List.length (Devices.Gpu_hw.faults gpu) in
+      let (_ : int) = Hypervisor.Region.switch_region mgr ~rid:0 in
+      (* region 0's slice excludes region 1's base *)
+      let base1, _ = Hypervisor.Region.dev_slice mgr 1 in
+      Devices.Gpu_hw.submit gpu
+        (Devices.Gpu_hw.Blit
+           {
+             src = Devices.Gpu_hw.Vram (base1 - Devices.Gpu_hw.vram_base gpu);
+             dst = Devices.Gpu_hw.Vram 4096;
+             len = 16;
+           });
+      Devices.Gpu_hw.submit gpu (Devices.Gpu_hw.Fence 99999);
+      Sim.Engine.run ~until:(Sim.Engine.now (Paradice.Machine.engine machine) +. 10_000.)
+        (Paradice.Machine.engine machine);
+      if List.length (Devices.Gpu_hw.faults gpu) > before then `Blocked else `Succeeded);
+  attack "forged copy into guest kernel space" (fun () ->
+      let table = Option.get (Hypervisor.Hyp.grant_table_of hyp g1.Paradice.Machine.vm) in
+      let gref =
+        Hypervisor.Grant_table.declare table
+          [ Hypervisor.Grant_table.Copy_to_user { addr = 0x1000; len = 8 } ]
+      in
+      let app = Oskit.Kernel.spawn_task g1.Paradice.Machine.kernel ~name:"victim" in
+      let req =
+        { Hypervisor.Hyp.caller = driver_vm; target = g1.Paradice.Machine.vm;
+          pt = app.Oskit.Defs.pt; grant_ref = gref }
+      in
+      match
+        Hypervisor.Hyp.copy_to_process hyp req ~gva:0xC0000000 ~data:(Bytes.make 8 'X')
+      with
+      | () -> `Succeeded
+      | exception Hypervisor.Hyp.Rejected _ -> `Blocked);
+  Report.table ~header:[ "attack"; "outcome" ]
+    (List.rev_map (fun name -> [ name; "BLOCKED" ]) !blocked
+    @ List.rev_map (fun name -> [ name; "!!! SUCCEEDED" ]) !passed);
+  let audit = Hypervisor.Hyp.audit hyp in
+  Report.note "audit: %s" (Format.asprintf "%a" Hypervisor.Audit.pp audit);
+  Report.note "paper: fault + data isolation hold with no noticeable overhead"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out, plus the        *)
+(* paper's extension/future-work features implemented in this repo    *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  Report.heading "Ablations & extensions";
+
+  (* 1. ioctl identification: analyzer vs macro-only (§4.1).  Nested-
+     copy ioctls (CS) must fail without the analyzer: the backend
+     driver's inner copies are undeclared and the hypervisor rejects
+     them. *)
+  Printf.printf "\n  -- ioctl identification mode (GEM+CS workflow in a guest) --\n";
+  let try_cs mode_name ioctl_id_mode =
+    let cfg = { Paradice.Config.default with Paradice.Config.ioctl_id_mode } in
+    let _m, env = Setup.make ~devices:[ Setup.Gpu ] (Setup.Paradice cfg) in
+    let outcome =
+      Workloads.Runner.run_to_completion env (fun () ->
+          let task = Workloads.Runner.spawn_app env ~name:"gl" in
+          let fd = Workloads.Gem.open_gpu env task in
+          let bo =
+            Workloads.Gem.create env task fd ~size:4096
+              ~domain:Devices.Radeon_ioctl.domain_gtt
+          in
+          match
+            Workloads.Gem.submit_cs env task fd
+              ~ib_words:[ Devices.Radeon_ioctl.pkt_draw; 100; 640; 480; 1; 0 ]
+              ~relocs:[| bo |]
+          with
+          | (_ : int) -> "command submission OK"
+          | exception Workloads.Runner.Syscall_failed (e, _) ->
+              "CS rejected with " ^ Oskit.Errno.to_string e)
+    in
+    [ mode_name; outcome ]
+  in
+  Report.table ~header:[ "identification"; "outcome" ]
+    [
+      try_cs "analyzer table + JIT slices" Paradice.Config.Analyzer_table;
+      try_cs "macro decoding only" Paradice.Config.Macro_only;
+    ];
+  Report.note "nested-copy ioctls need the analyzer: macros cannot declare them";
+
+  (* 2. channel pool width: a blocked read must not stall other files *)
+  Printf.printf "\n  -- per-guest backend parallelism --\n";
+  let stall_probe channels_per_guest =
+    let cfg = { Paradice.Config.default with Paradice.Config.channels_per_guest } in
+    let machine, env = Setup.make ~devices:[ Setup.Mouse; Setup.Null ] (Setup.Paradice cfg) in
+    ignore machine;
+    let result = ref nan in
+    Workloads.Runner.spawn env (fun () ->
+        (* a blocking mouse read parks one backend worker *)
+        let task = Workloads.Runner.spawn_app env ~name:"blocked-reader" in
+        let fd = Workloads.Runner.openf env task "/dev/input/event0" in
+        let buf = Oskit.Task.alloc_buf task 64 in
+        match Oskit.Vfs.read env.Workloads.Runner.kernel task fd ~buf ~len:64 with
+        | _ -> ()
+        | exception _ -> ());
+    Workloads.Runner.spawn env (fun () ->
+        Sim.Engine.wait 200.;
+        (* meanwhile: time 50 no-ops on another device file *)
+        let task = Workloads.Runner.spawn_app env ~name:"noop" in
+        let fd = Workloads.Runner.openf env task "/dev/null0" in
+        let t0 = Workloads.Runner.now_us env in
+        let n = 50 in
+        let finished = ref 0 in
+        (try
+           for _ = 1 to n do
+             ignore
+               (Workloads.Runner.ioctl env task fd ~cmd:Paradice.Machine.null_ioctl
+                  ~arg:0L);
+             incr finished
+           done
+         with _ -> ());
+        if !finished = n then
+          result := (Workloads.Runner.now_us env -. t0) /. float_of_int n);
+    Sim.Engine.run ~until:2_000_000. (Workloads.Runner.engine env);
+    !result
+  in
+  Report.table ~header:[ "channels/guest"; "noop while a read blocks (us)" ]
+    [
+      [ "1"; (let r = stall_probe 1 in if Float.is_nan r then "stalled (never completed)" else Report.f2 r) ];
+      [ "4 (default)"; Report.f2 (stall_probe 4) ];
+    ];
+
+  (* 3. cross-machine DSM transport (§8 future work) *)
+  Printf.printf "\n  -- DSM-based cross-machine Paradice (§8) --\n";
+  let noop_of cfg =
+    let _m, env = Setup.make ~devices:[ Setup.Null ] (Setup.Paradice cfg) in
+    Workloads.Noop_bench.run env ~ops:(scaled 500) ()
+  in
+  Report.table ~header:[ "transport"; "noop (us)" ]
+    [
+      [ "same machine, interrupts"; Report.f2 (noop_of Paradice.Config.default) ];
+      [ "cross-machine DSM (10GbE-class)"; Report.f2 (noop_of Paradice.Config.remote_dsm) ];
+    ];
+
+  (* 4. software-emulated VSync (§5.3 extension) *)
+  Printf.printf "\n  -- software-emulated VSync --\n";
+  let fps_with vsync =
+    let _m, env = Setup.make ~devices:[ Setup.Gpu ] (Setup.Paradice Paradice.Config.default) in
+    Workloads.Gfx.run env ~vsync ~profile:Workloads.Gfx.vbo ~width:1024 ~height:768
+      ~frames:(scaled 40) ()
+  in
+  Report.table ~header:[ "vsync"; "VBO FPS" ]
+    [
+      [ "off (as in §6.1.3)"; Report.f1 (fps_with false) ];
+      [ "on (emulated, 60 Hz)"; Report.f1 (fps_with true) ];
+    ];
+
+  (* 5. device breakage and recovery (§8) *)
+  Printf.printf "\n  -- malicious command stream: breakage and recovery --\n";
+  let machine, env = Setup.make ~devices:[ Setup.Gpu ] (Setup.Paradice Paradice.Config.default) in
+  let att = Option.get machine.Paradice.Machine.gpu in
+  Devices.Radeon_drv.set_watchdog_timeout att.Paradice.Machine.radeon 10_000.;
+  let rows =
+    Workloads.Runner.run_to_completion env (fun () ->
+        let task = Workloads.Runner.spawn_app env ~name:"evil" in
+        let fd = Workloads.Gem.open_gpu env task in
+        (* wedge the GPU with a clock-control write *)
+        let wedge_outcome =
+          match
+            Workloads.Gem.submit_cs env task fd
+              ~ib_words:[ Devices.Radeon_ioctl.pkt_reg_write; Devices.Gpu_hw.reg_clock_ctl; 0 ]
+              ~relocs:[||]
+          with
+          | (_ : int) -> (
+              match Workloads.Gem.wait_idle env task fd with
+              | () -> "GPU survived"
+              | exception Workloads.Runner.Syscall_failed (Oskit.Errno.EIO, _) ->
+                  "hang detected, device reset")
+          | exception Workloads.Runner.Syscall_failed (e, _) ->
+              "rejected: " ^ Oskit.Errno.to_string e
+        in
+        (* the device must work again afterwards *)
+        let after =
+          let bo =
+            Workloads.Gem.create env task fd ~size:4096
+              ~domain:Devices.Radeon_ioctl.domain_gtt
+          in
+          match
+            Workloads.Gem.submit_cs env task fd
+              ~ib_words:[ Devices.Radeon_ioctl.pkt_draw; 100; 640; 480; 1; 0 ]
+              ~relocs:[| bo |]
+          with
+          | (_ : int) ->
+              Workloads.Gem.wait_idle env task fd;
+              "renders normally"
+          | exception _ -> "still broken"
+        in
+        [ [ "attack: clock-control register write"; wedge_outcome ];
+          [ "after recovery"; after ] ])
+  in
+  Report.table ~header:[ "step"; "outcome" ] rows;
+  Report.note "recoveries performed: %d"
+    (Devices.Radeon_drv.stats_recoveries att.Paradice.Machine.radeon);
+
+  (* 6. command-streamer protection (§8's "protect certain parts of the
+     device programming interface") *)
+  let machine2, env2 = Setup.make ~devices:[ Setup.Gpu ] (Setup.Paradice Paradice.Config.default) in
+  let att2 = Option.get machine2.Paradice.Machine.gpu in
+  Devices.Radeon_drv.set_command_streamer_protection att2.Paradice.Machine.radeon true;
+  let outcome =
+    Workloads.Runner.run_to_completion env2 (fun () ->
+        let task = Workloads.Runner.spawn_app env2 ~name:"evil" in
+        let fd = Workloads.Gem.open_gpu env2 task in
+        match
+          Workloads.Gem.submit_cs env2 task fd
+            ~ib_words:[ Devices.Radeon_ioctl.pkt_reg_write; Devices.Gpu_hw.reg_clock_ctl; 0 ]
+            ~relocs:[||]
+        with
+        | (_ : int) -> "accepted (!)"
+        | exception Workloads.Runner.Syscall_failed (e, _) ->
+            "rejected with " ^ Oskit.Errno.to_string e)
+  in
+  Report.table ~header:[ "with command-streamer protection"; "outcome" ]
+    [ [ "clock-control register write"; outcome ] ];
+
+  (* 7. fair GPU scheduling across guests (§8's TimeGraph pointer) *)
+  Printf.printf "\n  -- per-guest GPU scheduling under a flooding guest --\n";
+  let victim_latency fair =
+    let machine, _env =
+      Setup.make ~devices:[ Setup.Gpu ] ~extra_guests:1
+        (Setup.Paradice Paradice.Config.default)
+    in
+    let att = Option.get machine.Paradice.Machine.gpu in
+    Devices.Radeon_drv.set_fair_scheduling att.Paradice.Machine.radeon fair;
+    let guests = Paradice.Machine.guests machine in
+    let flooder = List.nth guests 0 and victim = List.nth guests 1 in
+    let env_f = Workloads.Runner.of_guest ~label:"flooder" machine flooder in
+    let env_v = Workloads.Runner.of_guest ~label:"victim" machine victim in
+    let latency = ref nan in
+    Workloads.Runner.spawn env_f (fun () ->
+        let task = Workloads.Runner.spawn_app env_f ~name:"flood" in
+        let fd = Workloads.Gem.open_gpu env_f task in
+        let bo =
+          Workloads.Gem.create env_f task fd ~size:4096
+            ~domain:Devices.Radeon_ioctl.domain_gtt
+        in
+        let ib =
+          List.concat
+            (List.init 40 (fun _ ->
+                 [ Devices.Radeon_ioctl.pkt_draw; 30000; 1280; 1024; 1; 0 ]))
+        in
+        let (_ : int) =
+          Workloads.Gem.submit_cs env_f task fd ~ib_words:ib ~relocs:[| bo |]
+        in
+        Workloads.Gem.wait_idle env_f task fd);
+    Workloads.Runner.spawn env_v (fun () ->
+        Sim.Engine.wait 2_000.;
+        let task = Workloads.Runner.spawn_app env_v ~name:"small" in
+        let fd = Workloads.Gem.open_gpu env_v task in
+        let bo =
+          Workloads.Gem.create env_v task fd ~size:4096
+            ~domain:Devices.Radeon_ioctl.domain_gtt
+        in
+        let t0 = Workloads.Runner.now_us env_v in
+        let ib = [ Devices.Radeon_ioctl.pkt_draw; 100; 320; 200; 1; 0 ] in
+        let (_ : int) =
+          Workloads.Gem.submit_cs env_v task fd ~ib_words:ib ~relocs:[| bo |]
+        in
+        Workloads.Gem.wait_idle env_v task fd;
+        latency := Workloads.Runner.now_us env_v -. t0);
+    Workloads.Runner.run env_v;
+    !latency /. 1000.
+  in
+  Report.table ~header:[ "GPU scheduling"; "victim job latency (ms)" ]
+    [
+      [ "FIFO (paper's prototype)"; Report.f1 (victim_latency false) ];
+      [ "fair round-robin (extension)"; Report.f1 (victim_latency true) ];
+    ];
+  Report.note "one flooding guest queues ~40 expensive frames; the victim submits one small job"
+

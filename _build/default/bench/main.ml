@@ -1,0 +1,145 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (run with no arguments for everything), plus
+   Bechamel wall-clock microbenchmarks of the implementation's hot
+   paths (`bechamel` subcommand). *)
+
+let experiments =
+  [
+    ("noop", Experiments.noop);
+    ("fig2", Experiments.fig2);
+    ("fig3", Experiments.fig3);
+    ("fig4", Experiments.fig4);
+    ("fig5", Experiments.fig5);
+    ("fig6", Experiments.fig6);
+    ("mouse", Experiments.mouse);
+    ("camera", Experiments.camera);
+    ("audio", Experiments.audio);
+    ("table1", Experiments.table1);
+    ("table2", Experiments.table2);
+    ("table3", Experiments.table3);
+    ("analyzer", Experiments.analyzer);
+    ("isolation", Experiments.isolation);
+    ("ablations", Experiments.ablations);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of the hot paths          *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  (* two-level page walk *)
+  let walk_test =
+    let pt = Memory.Guest_pt.create () and ept = Memory.Ept.create () in
+    Memory.Guest_pt.map pt ~gva:0x40000000 ~gpa:0x5000 ~perms:Memory.Perm.rw;
+    Memory.Ept.map ept ~gpa:0x5000 ~spa:0x99000 ~perms:Memory.Perm.rwx;
+    Test.make ~name:"two-level page walk"
+      (Staged.stage (fun () ->
+           let gpa = Memory.Guest_pt.translate pt ~gva:0x40000123 ~access:Memory.Perm.Read in
+           ignore (Memory.Ept.translate ept ~gpa ~access:Memory.Perm.Read)))
+  in
+  (* grant declare + authorise + release *)
+  let grant_test =
+    let phys = Memory.Phys_mem.create () in
+    let hyp = Hypervisor.Hyp.create phys in
+    let vm =
+      Hypervisor.Hyp.create_vm hyp ~name:"g" ~kind:Hypervisor.Vm.Guest
+        ~mem_bytes:(1024 * 1024)
+    in
+    let table = Hypervisor.Hyp.setup_grant_table hyp vm in
+    Test.make ~name:"grant declare/authorise/release"
+      (Staged.stage (fun () ->
+           let r =
+             Hypervisor.Grant_table.declare table
+               [ Hypervisor.Grant_table.Copy_to_user { addr = 0x1000; len = 64 } ]
+           in
+           ignore
+             (Hypervisor.Grant_table.authorises table ~grant_ref:r
+                ~requested:(Hypervisor.Grant_table.Copy_to_user { addr = 0x1010; len = 8 }));
+           Hypervisor.Grant_table.release table r))
+  in
+  (* ioctl op identification: macro vs JIT slice *)
+  let analyzer_table = Analyzer.Extract.analyze Analyzer.Radeon_ir.driver_3_2_0 in
+  let macro_test =
+    Test.make ~name:"ioctl ops: macro decode"
+      (Staged.stage (fun () ->
+           ignore
+             (Analyzer.Cmd_macro.ops_of_cmd Devices.Radeon_ioctl.gem_create ~arg:0x1000)))
+  in
+  let jit_mem = Bytes.make 4096 '\000' in
+  Bytes.set_int32_le jit_mem 0 2l;
+  (* num_chunks=2, chunks_ptr=64; two chunk headers with zero-length data *)
+  Bytes.set_int64_le jit_mem 8 64L;
+  Bytes.set_int64_le jit_mem 64 128L;
+  Bytes.set_int64_le jit_mem 72 160L;
+  Bytes.set_int32_le jit_mem 128 1l;
+  Bytes.set_int32_le jit_mem 160 2l;
+  let jit_test =
+    Test.make ~name:"ioctl ops: JIT slice (radeon CS)"
+      (Staged.stage (fun () ->
+           ignore
+             (Analyzer.Extract.ops_for analyzer_table ~cmd:Devices.Radeon_ioctl.cs ~arg:0
+                ~read_user:(fun ~addr ~len ->
+                  if addr + len <= 4096 then Bytes.sub jit_mem addr len
+                  else Bytes.make len '\000'))))
+  in
+  (* simulation engine event throughput *)
+  let engine_test =
+    Test.make ~name:"sim engine: 100 timed events"
+      (Staged.stage (fun () ->
+           let eng = Sim.Engine.create () in
+           for i = 1 to 100 do
+             Sim.Engine.at eng ~delay:(float_of_int i) (fun () -> ())
+           done;
+           Sim.Engine.run eng))
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let tests =
+    Test.make_grouped ~name:"hot-paths"
+      [ walk_test; grant_test; macro_test; jit_test; engine_test ]
+  in
+  let results = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Instance.monotonic_clock results
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> Printf.printf "  %-45s %12.1f ns/op\n" name est
+      | Some [] | None -> Printf.printf "  %-45s (no estimate)\n" name)
+    ols
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    match args with
+    | "--quick" :: rest ->
+        Experiments.scale := 0.2;
+        rest
+    | rest -> rest
+  in
+  match args with
+  | [] ->
+      print_endline "Paradice benchmark harness — reproducing every table and figure";
+      print_endline "(pass experiment names to run a subset: noop fig2 fig3 fig4 fig5";
+      print_endline " fig6 mouse camera audio table1 table2 table3 analyzer isolation";
+      print_endline " bechamel; --quick shortens runs)";
+      List.iter (fun (_, f) -> f ()) experiments;
+      Report.heading "Bechamel microbenchmarks (wall clock, implementation hot paths)";
+      bechamel_benchmarks ()
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "bechamel" then begin
+            Report.heading "Bechamel microbenchmarks";
+            bechamel_benchmarks ()
+          end
+          else
+            match List.assoc_opt name experiments with
+            | Some f -> f ()
+            | None -> Printf.eprintf "unknown experiment: %s\n" name)
+        names

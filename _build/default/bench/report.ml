@@ -1,0 +1,28 @@
+(* Plain-text table rendering for the benchmark harness. *)
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+(* Render a table: [header] row then [rows], columns padded. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+  in
+  Printf.printf "  %s\n" (render header);
+  Printf.printf "  %s\n"
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Printf.printf "  %s\n" (render row)) rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x

@@ -1,0 +1,204 @@
+(* paradice — command-line driver for the Paradice reproduction.
+
+   Subcommands:
+     inspect   boot a full machine and print its topology
+     bench     run one workload under a chosen configuration
+     analyze   run the ioctl analyzer over the Radeon driver IR
+     versions  compare file-operation vocabularies across kernels *)
+
+open Cmdliner
+
+(* ---- shared options ---- *)
+
+let mode_conv =
+  let parse = function
+    | "native" -> Ok Baselines.Setup.Native
+    | "da" | "device-assign" -> Ok Baselines.Setup.Device_assign
+    | "paradice" -> Ok (Baselines.Setup.Paradice Paradice.Config.default)
+    | "paradice-polling" | "polling" ->
+        Ok (Baselines.Setup.Paradice Paradice.Config.polling)
+    | "paradice-di" | "di" ->
+        Ok
+          (Baselines.Setup.Paradice
+             (Paradice.Config.with_data_isolation Paradice.Config.default))
+    | "paradice-freebsd" | "freebsd" ->
+        Ok (Baselines.Setup.Paradice_freebsd Paradice.Config.default)
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf m = Fmt.string ppf (Baselines.Setup.mode_label m) in
+  Arg.conv (parse, print)
+
+let mode =
+  Arg.(
+    value
+    & opt mode_conv (Baselines.Setup.Paradice Paradice.Config.default)
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Configuration: native, da, paradice, paradice-polling, paradice-di, \
+           paradice-freebsd.")
+
+(* ---- inspect ---- *)
+
+let inspect () =
+  let machine = Paradice.Machine.create () in
+  ignore (Paradice.Machine.attach_gpu machine ());
+  ignore (Paradice.Machine.attach_mouse machine);
+  ignore (Paradice.Machine.attach_keyboard machine);
+  ignore (Paradice.Machine.attach_camera machine ());
+  ignore (Paradice.Machine.attach_audio machine);
+  ignore (Paradice.Machine.attach_netmap machine);
+  let g1 = Paradice.Machine.add_guest machine ~name:"linux-guest" () in
+  let g2 =
+    Paradice.Machine.add_guest machine ~name:"freebsd-guest"
+      ~flavor:Oskit.Os_flavor.Freebsd_9 ()
+  in
+  Printf.printf "driver VM: %s\n"
+    (Oskit.Os_flavor.name (Oskit.Kernel.flavor (Paradice.Machine.driver_kernel machine)));
+  Printf.printf "devices in the driver VM:\n";
+  List.iter
+    (fun d ->
+      Printf.printf "  %-20s class=%-7s driver=%s%s\n" d.Oskit.Defs.dev_path
+        d.Oskit.Defs.dev_class d.Oskit.Defs.driver_name
+        (if d.Oskit.Defs.exclusive then " (single-open)" else ""))
+    (Oskit.Devfs.list (Oskit.Kernel.devfs (Paradice.Machine.driver_kernel machine)));
+  List.iter
+    (fun (g : Paradice.Machine.guest) ->
+      Printf.printf "\nguest %S (%s):\n"
+        (Hypervisor.Vm.name g.Paradice.Machine.vm)
+        (Oskit.Os_flavor.name (Oskit.Kernel.flavor g.Paradice.Machine.kernel));
+      Printf.printf "  virtual device files:\n";
+      List.iter
+        (fun d -> Printf.printf "    %-20s driver=%s\n" d.Oskit.Defs.dev_path d.Oskit.Defs.driver_name)
+        (Oskit.Devfs.list (Oskit.Kernel.devfs g.Paradice.Machine.kernel));
+      Printf.printf "  virtual PCI bus:\n";
+      List.iter
+        (fun d -> Format.printf "    %a@." Paradice.Virt_pci.pp_dev d)
+        (Paradice.Virt_pci.list g.Paradice.Machine.pci);
+      Printf.printf "  sysfs (device info modules):\n";
+      List.iter
+        (fun (k, v) -> Printf.printf "    %s = %s\n" k v)
+        (Oskit.Devfs.sysfs_entries (Oskit.Kernel.devfs g.Paradice.Machine.kernel)))
+    [ g1; g2 ];
+  Printf.printf "\nhypervisor: %d VMs, validation %b\n"
+    (List.length (Hypervisor.Hyp.vms (Paradice.Machine.hyp machine)))
+    true;
+  `Ok ()
+
+(* ---- bench ---- *)
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"noop | netmap | gfx | matmul | mouse | camera | audio")
+
+let batch = Arg.(value & opt int 64 & info [ "batch" ] ~doc:"netmap batch size")
+let packets = Arg.(value & opt int 20_000 & info [ "packets" ] ~doc:"netmap packet count")
+let order = Arg.(value & opt int 100 & info [ "order" ] ~doc:"matmul matrix order")
+let frames = Arg.(value & opt int 60 & info [ "frames" ] ~doc:"frames to render/capture")
+
+let bench workload mode batch packets order frames =
+  let devices =
+    match workload with
+    | "noop" -> [ Baselines.Setup.Null ]
+    | "netmap" -> [ Baselines.Setup.Netmap ]
+    | "gfx" | "matmul" -> [ Baselines.Setup.Gpu ]
+    | "mouse" -> [ Baselines.Setup.Mouse ]
+    | "camera" -> [ Baselines.Setup.Camera ]
+    | "audio" -> [ Baselines.Setup.Audio ]
+    | w -> failwith ("unknown workload: " ^ w)
+  in
+  let _machine, env = Baselines.Setup.make ~devices mode in
+  Printf.printf "%s under %s:\n" workload env.Workloads.Runner.label;
+  (match workload with
+  | "noop" ->
+      let avg = Workloads.Noop_bench.run env ~ops:2000 () in
+      Printf.printf "  no-op file operation: %.2f us\n" avg
+  | "netmap" ->
+      let r = Workloads.Netmap_pktgen.run env ~packets ~batch () in
+      Printf.printf "  TX rate at batch %d: %.3f Mpps (%d packets in %.3fs)\n" batch
+        r.Workloads.Netmap_pktgen.rate_mpps r.Workloads.Netmap_pktgen.packets
+        r.Workloads.Netmap_pktgen.elapsed_s
+  | "gfx" ->
+      let fps =
+        Workloads.Gfx.run env ~profile:Workloads.Gfx.tremulous ~width:1024 ~height:768
+          ~frames ()
+      in
+      Printf.printf "  Tremulous @1024x768: %.1f FPS\n" fps
+  | "matmul" ->
+      let t = Workloads.Opencl_matmul.run env ~order () in
+      Printf.printf "  order %d: %.3f s\n" order t
+  | "mouse" ->
+      let l = Workloads.Mouse_latency.run env ~moves:50 () in
+      Printf.printf "  event-to-read latency: %.1f us\n" l
+  | "camera" ->
+      let fps = Workloads.Camera_app.run env ~width:1280 ~height:720 ~frames () in
+      Printf.printf "  capture rate @1280x720: %.1f FPS\n" fps
+  | "audio" ->
+      let t = Workloads.Audio_app.run env ~seconds:1.0 () in
+      Printf.printf "  1.0s file played in %.3f s\n" t
+  | _ -> ());
+  `Ok ()
+
+(* ---- analyze ---- *)
+
+let analyze () =
+  let table = Analyzer.Extract.analyze Analyzer.Radeon_ir.driver_3_2_0 in
+  Printf.printf "radeon %s: %d static, %d JIT handlers; %d extracted lines\n\n"
+    table.Analyzer.Extract.version table.Analyzer.Extract.static_count
+    table.Analyzer.Extract.jit_count table.Analyzer.Extract.extracted_lines;
+  List.iter
+    (fun (name, cmd) ->
+      let kind =
+        match Analyzer.Extract.entry_for table cmd with
+        | Some (Analyzer.Extract.Static protos) ->
+            Printf.sprintf "static (%d ops)" (List.length protos)
+        | Some (Analyzer.Extract.Jit slice) ->
+            Printf.sprintf "JIT slice (%d stmts%s)" (Analyzer.Ir.stmt_count slice)
+              (if Analyzer.Slice.has_nested_ops slice then ", nested copies" else "")
+        | None -> "not in table (macro fallback)"
+      in
+      let cmd_str = Format.asprintf "%a" Oskit.Ioctl_num.pp cmd in
+      Printf.printf "  %-14s %-28s %s\n" name cmd_str kind)
+    Devices.Radeon_ioctl.all_commands;
+  `Ok ()
+
+(* ---- versions ---- *)
+
+let versions () =
+  List.iter
+    (fun flavor ->
+      Printf.printf "%s: %d file operations known\n" (Oskit.Os_flavor.name flavor)
+        (List.length (Oskit.Os_flavor.supported_ops flavor));
+      Printf.printf "  %s\n"
+        (String.concat ", "
+           (List.map Oskit.Os_flavor.op_kind_name (Oskit.Os_flavor.supported_ops flavor))))
+    [ Oskit.Os_flavor.Linux_2_6_35; Oskit.Os_flavor.Linux_3_2_0; Oskit.Os_flavor.Freebsd_9 ];
+  Printf.printf "\ndriver-core operations (identical semantics everywhere): %s\n"
+    (String.concat ", " (List.map Oskit.Os_flavor.op_kind_name Oskit.Os_flavor.driver_core_ops));
+  `Ok ()
+
+(* ---- command wiring ---- *)
+
+let inspect_cmd =
+  Cmd.v (Cmd.info "inspect" ~doc:"Boot a full machine and print its topology")
+    Term.(ret (const inspect $ const ()))
+
+let bench_cmd =
+  Cmd.v (Cmd.info "bench" ~doc:"Run one workload under a chosen configuration")
+    Term.(ret (const bench $ workload_arg $ mode $ batch $ packets $ order $ frames))
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Run the ioctl analyzer over the Radeon driver IR")
+    Term.(ret (const analyze $ const ()))
+
+let versions_cmd =
+  Cmd.v (Cmd.info "versions" ~doc:"Compare kernel file-operation vocabularies")
+    Term.(ret (const versions $ const ()))
+
+let () =
+  let doc = "Paradice: I/O paravirtualization at the device file boundary" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "paradice" ~version:Paradice.Api.version ~doc)
+          [ inspect_cmd; bench_cmd; analyze_cmd; versions_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Bytes Defs Devices Errno Format Hypervisor Kernel List Memory Option Oskit Paradice Printf Sim Vfs Workloads

@@ -1,0 +1,1 @@
+examples/gpu_sharing.ml: Devices Hypervisor Option Paradice Printf Sim Workloads

@@ -1,0 +1,1 @@
+examples/media_guest.ml: Devices Int64 Oskit Paradice Printf Result Sim Task Vfs

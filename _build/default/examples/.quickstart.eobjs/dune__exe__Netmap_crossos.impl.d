@@ -1,0 +1,1 @@
+examples/netmap_crossos.ml: Devices List Oskit Paradice Printf Workloads

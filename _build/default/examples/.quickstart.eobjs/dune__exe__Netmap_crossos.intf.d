@@ -1,0 +1,1 @@
+examples/netmap_crossos.mli:

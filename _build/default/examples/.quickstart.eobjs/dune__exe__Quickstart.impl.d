@@ -1,0 +1,1 @@
+examples/quickstart.ml: Devices Errno Format List Oskit Paradice Printf Sim Task Vfs

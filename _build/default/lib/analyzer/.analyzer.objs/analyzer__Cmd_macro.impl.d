@@ -1,0 +1,1 @@
+lib/analyzer/cmd_macro.ml: Hypervisor Oskit

@@ -1,0 +1,1 @@
+lib/analyzer/extract.ml: Bytes Char Cmd_macro Hashtbl Hypervisor Int32 Int64 Ir List Oskit Slice

@@ -1,0 +1,1 @@
+lib/analyzer/extract.mli: Hashtbl Hypervisor Ir

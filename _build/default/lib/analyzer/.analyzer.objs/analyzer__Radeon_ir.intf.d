@@ -1,0 +1,1 @@
+lib/analyzer/radeon_ir.mli: Ir

@@ -1,0 +1,1 @@
+lib/analyzer/slice.ml: Ir List Set String

@@ -1,0 +1,24 @@
+(** Memory operations derivable from the ioctl command number alone.
+
+    Drivers built with the OS-provided _IOC macros embed the direction
+    and size of the command's data structure in the number itself, and
+    the untyped pointer argument is the structure's user address — so
+    for "the most common ioctl memory operations" the CVD frontend can
+    compute the legitimate operations with no driver knowledge at all
+    (§4.1). *)
+
+let ops_of_cmd cmd ~arg =
+  let size = Oskit.Ioctl_num.size cmd in
+  if size = 0 then []
+  else
+    match Oskit.Ioctl_num.dir cmd with
+    | Oskit.Ioctl_num.None_ -> []
+    | Oskit.Ioctl_num.Write ->
+        [ Hypervisor.Grant_table.Copy_from_user { addr = arg; len = size } ]
+    | Oskit.Ioctl_num.Read ->
+        [ Hypervisor.Grant_table.Copy_to_user { addr = arg; len = size } ]
+    | Oskit.Ioctl_num.Read_write ->
+        [
+          Hypervisor.Grant_table.Copy_from_user { addr = arg; len = size };
+          Hypervisor.Grant_table.Copy_to_user { addr = arg; len = size };
+        ]

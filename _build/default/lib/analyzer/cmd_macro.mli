@@ -1,0 +1,4 @@
+(** Memory operations derivable from the _IOC-encoded command number
+    alone (§4.1's common case). *)
+
+val ops_of_cmd : int -> arg:int -> Hypervisor.Grant_table.op list

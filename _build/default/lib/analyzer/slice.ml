@@ -1,0 +1,113 @@
+(** Program slicing over the driver IR (§4.1).
+
+    Keeps exactly the statements that affect the arguments of memory
+    operations: the copies themselves, the control flow around them,
+    and (transitively) the [Let]s their expressions read.  [Hw_op]s and
+    unrelated computation drop out — the result "has no external
+    dependencies and can even be executed without the presence of the
+    actual device". *)
+
+open Ir
+
+module StrSet = Set.Make (String)
+
+(* Variables and buffers an expression depends on. *)
+let expr_deps e = StrSet.of_list (expr_vars e @ expr_bufs e)
+
+let cond_deps c =
+  match c with
+  | Eq (a, b) | Lt (a, b) | Ne (a, b) -> StrSet.union (expr_deps a) (expr_deps b)
+
+(** One backwards pass: keep a statement if it is a memory op, if it
+    defines a name in [needed], or if it is control flow whose body
+    survived; accumulate the dependencies of kept statements. *)
+let rec slice_stmts stmts needed =
+  (* process in reverse so dependencies propagate backwards *)
+  let rev = List.rev stmts in
+  let kept, needed =
+    List.fold_left
+      (fun (kept, needed) stmt ->
+        match stmt with
+        | Copy_from_user { dst_buf; src; len } ->
+            let needed =
+              needed |> StrSet.union (expr_deps src) |> StrSet.union (expr_deps len)
+            in
+            (* the buffer itself may feed later ops via Field *)
+            (stmt :: kept, StrSet.remove dst_buf needed)
+        | Copy_to_user { dst; src_buf; len } ->
+            let needed =
+              needed
+              |> StrSet.union (expr_deps dst)
+              |> StrSet.union (expr_deps len)
+              |> StrSet.add src_buf
+            in
+            (stmt :: kept, needed)
+        | Store_field { buf; offset; value; _ } ->
+            if StrSet.mem buf needed then
+              ( stmt :: kept,
+                needed |> StrSet.union (expr_deps offset) |> StrSet.union (expr_deps value) )
+            else (kept, needed)
+        | Let (v, e) ->
+            if StrSet.mem v needed then
+              (stmt :: kept, StrSet.union (StrSet.remove v needed) (expr_deps e))
+            else (kept, needed)
+        | For { var; count; body } ->
+            let body', body_needed = slice_stmts body needed in
+            if body' = [] then (kept, needed)
+            else
+              let needed =
+                StrSet.union needed
+                  (StrSet.union (expr_deps count) (StrSet.remove var body_needed))
+              in
+              (For { var; count; body = body' } :: kept, needed)
+        | If { cond; then_; else_ } ->
+            let then', tn = slice_stmts then_ needed in
+            let else', en = slice_stmts else_ needed in
+            if then' = [] && else' = [] then (kept, needed)
+            else
+              let needed =
+                needed |> StrSet.union (cond_deps cond) |> StrSet.union tn
+                |> StrSet.union en
+              in
+              (If { cond; then_ = then'; else_ = else' } :: kept, needed)
+        | Hw_op _ -> (kept, needed))
+      ([], needed) rev
+  in
+  (kept, needed)
+
+(** Slice a handler down to its memory-operation skeleton. *)
+let of_handler (h : handler) = fst (slice_stmts h.body StrSet.empty)
+
+(** Does the sliced code contain nested copies — a memory operation
+    whose arguments read a buffer filled by an earlier copy?  These are
+    the handlers whose operations cannot be produced offline (§4.1). *)
+let has_nested_ops slice =
+  (* [tainted] holds buffers filled by earlier copies plus variables
+     (transitively) derived from their contents; an operation whose
+     address or length is tainted is a nested copy. *)
+  let tainted_dep tainted e =
+    not (StrSet.is_empty (StrSet.inter (expr_deps e) tainted))
+  in
+  let rec scan tainted = function
+    | [] -> false
+    | stmt :: rest ->
+        (match stmt with
+        | Copy_from_user { src; len; dst_buf } ->
+            tainted_dep tainted src || tainted_dep tainted len
+            || scan (StrSet.add dst_buf tainted) rest
+        | Copy_to_user { dst; len; _ } ->
+            tainted_dep tainted dst || tainted_dep tainted len || scan tainted rest
+        | Let (v, e) ->
+            let tainted = if tainted_dep tainted e then StrSet.add v tainted else tainted in
+            scan tainted rest
+        | For { body; count; _ } ->
+            tainted_dep tainted count || scan tainted (body @ rest)
+        | If { then_; else_; _ } -> scan tainted (then_ @ else_ @ rest)
+        | Store_field _ | Hw_op _ -> scan tainted rest)
+  in
+  (* N.B. [tainted] only grows along the scan; buffers filled inside
+     branches are treated as filled afterwards, which over-approximates
+     (safe: "nested" classification can only widen). *)
+  scan StrSet.empty slice
+
+let extracted_lines slice = Ir.stmt_count slice

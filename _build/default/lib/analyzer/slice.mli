@@ -1,0 +1,14 @@
+(** Program slicing over the driver IR (§4.1): keep exactly the
+    statements affecting memory-operation arguments; the result has no
+    external dependencies and runs without the device. *)
+
+val of_handler : Ir.handler -> Ir.stmt list
+
+(** Does the slice contain nested copies — an operation whose
+    address/length derives (transitively) from data an earlier copy
+    brought in?  Over-approximates via taint, which is safe. *)
+val has_nested_ops : Ir.stmt list -> bool
+
+(** The "lines of extracted code" metric (~760 for the paper's
+    Radeon). *)
+val extracted_lines : Ir.stmt list -> int

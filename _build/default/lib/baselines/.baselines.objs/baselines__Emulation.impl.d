@@ -1,0 +1,1 @@
+lib/baselines/emulation.ml: Defs Devfs Errno Kernel Os_flavor Oskit Paradice Workloads

@@ -1,0 +1,1 @@
+lib/baselines/self_virt.ml: Defs Devfs Errno Kernel Os_flavor Oskit Paradice Printf Workloads

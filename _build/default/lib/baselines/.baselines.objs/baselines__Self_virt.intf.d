@@ -1,0 +1,1 @@
+lib/baselines/self_virt.mli: Workloads

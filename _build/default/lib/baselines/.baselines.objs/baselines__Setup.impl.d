@@ -1,0 +1,1 @@
+lib/baselines/setup.ml: List Oskit Paradice Printf Workloads

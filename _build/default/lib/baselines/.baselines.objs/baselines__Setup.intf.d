@@ -1,0 +1,1 @@
+lib/baselines/setup.mli: Paradice Workloads

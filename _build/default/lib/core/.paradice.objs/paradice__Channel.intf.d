@@ -1,0 +1,1 @@
+lib/core/channel.mli: Config Hypervisor Memory Sim

@@ -1,0 +1,1 @@
+lib/core/cvd_back.ml: Array Chan_pool Channel Config Defs Devfs Errno Hashtbl Hypervisor Kernel List Memory Oskit Policy Printf Proto Sim Task Uaccess Wait_queue

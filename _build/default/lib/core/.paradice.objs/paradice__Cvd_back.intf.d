@@ -1,0 +1,1 @@
+lib/core/cvd_back.mli: Chan_pool Config Hashtbl Hypervisor Oskit Policy

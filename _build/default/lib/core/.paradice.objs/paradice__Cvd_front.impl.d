@@ -1,0 +1,1 @@
+lib/core/cvd_front.ml: Analyzer Chan_pool Channel Config Defs Devfs Errno Fun Hashtbl Hypervisor Int64 Kernel List Memory Os_flavor Oskit Printf Proto Sim Task Vfs

@@ -1,0 +1,1 @@
+lib/core/cvd_front.mli: Analyzer Chan_pool Config Hypervisor Oskit

@@ -1,0 +1,1 @@
+lib/core/device_info.ml: List Oskit Printf String Virt_pci

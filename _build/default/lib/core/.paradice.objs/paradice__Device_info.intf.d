@@ -1,0 +1,1 @@
+lib/core/device_info.mli: Oskit Virt_pci

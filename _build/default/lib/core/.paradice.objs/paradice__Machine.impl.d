@@ -1,0 +1,1 @@
+lib/core/machine.ml: Analyzer Config Cvd_back Cvd_front Defs Devfs Device_info Devices Errno Hypervisor Kernel List Memory Os_flavor Oskit Policy Sim Virt_pci

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Analyzer Config Cvd_back Cvd_front Device_info Devices Hypervisor Memory Oskit Policy Sim Virt_pci

@@ -1,0 +1,1 @@
+lib/core/proto.ml: Bytes Int32 Int64 Oskit Printf String

@@ -1,0 +1,1 @@
+lib/core/virt_pci.mli: Format

@@ -1,0 +1,70 @@
+(** A pool of CVD channels for one guest.
+
+    The backend runs one worker per channel, giving each guest a few
+    parallel servers (the paper's per-guest wait queue drained by
+    backend threads, §5.1): a process blocked in a long read or poll
+    does not stall the guest's other device files.  The per-guest
+    operation cap (default 100) bounds how many operations may be
+    outstanding or waiting — the DoS protection of §5.1. *)
+
+type t = {
+  channels : Channel.t array;
+  free : Sim.Semaphore.t;
+  cap : int;
+  mutable pending : int; (* in flight + waiting for a channel *)
+  mutable rejected_busy : int;
+}
+
+exception Busy
+(** Raised when the guest already has [max_queued_ops] operations
+    outstanding. *)
+
+let create channels ~cap =
+  {
+    channels;
+    free = Sim.Semaphore.create (Array.length channels);
+    cap;
+    pending = 0;
+    rejected_busy = 0;
+  }
+
+(** The designated channel for backend-to-frontend notifications. *)
+let notify_channel t = t.channels.(0)
+
+let rpc t bytes =
+  if t.pending >= t.cap then begin
+    t.rejected_busy <- t.rejected_busy + 1;
+    raise Busy
+  end;
+  t.pending <- t.pending + 1;
+  Fun.protect
+    ~finally:(fun () -> t.pending <- t.pending - 1)
+    (fun () ->
+      Sim.Semaphore.acquire t.free;
+      Fun.protect
+        ~finally:(fun () -> Sim.Semaphore.release t.free)
+        (fun () ->
+          (* at least one channel is idle once [free] is acquired *)
+          let rec pick i =
+            if i >= Array.length t.channels then
+              invalid_arg "Chan_pool: no free channel despite semaphore"
+            else
+              let chan = t.channels.(i) in
+              if Sim.Semaphore.try_acquire (Channel.rpc_mutex chan) then chan
+              else pick (i + 1)
+          in
+          let chan = pick 0 in
+          Fun.protect
+            ~finally:(fun () -> Sim.Semaphore.release (Channel.rpc_mutex chan))
+            (fun () -> Channel.rpc_locked chan bytes)))
+
+type stats = { rpcs : int; legs : int; cold_legs : int; rejected_busy : int }
+
+let stats t =
+  let sum f = Array.fold_left (fun acc c -> acc + f (Channel.stats c)) 0 t.channels in
+  {
+    rpcs = sum (fun s -> s.Channel.rpcs);
+    legs = sum (fun s -> s.Channel.legs);
+    cold_legs = sum (fun s -> s.Channel.cold_legs);
+    rejected_busy = t.rejected_busy;
+  }

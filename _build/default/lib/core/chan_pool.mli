@@ -1,0 +1,20 @@
+(** A pool of CVD channels for one guest: a few parallel backend
+    workers (so a blocking read does not stall other device files)
+    under the per-guest operation cap of §5.1. *)
+
+type t
+
+exception Busy
+(** The guest has [max_queued_ops] operations outstanding already. *)
+
+val create : Channel.t array -> cap:int -> t
+
+(** The designated channel for backend-to-frontend notifications. *)
+val notify_channel : t -> Channel.t
+
+(** One request/response exchange over any idle channel. *)
+val rpc : t -> bytes -> bytes
+
+type stats = { rpcs : int; legs : int; cold_legs : int; rejected_busy : int }
+
+val stats : t -> stats

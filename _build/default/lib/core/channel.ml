@@ -1,0 +1,160 @@
+(** CVD transport: shared memory page + inter-VM signalling (§5.1).
+
+    The frontend puts the serialised file operation in the shared page
+    and signals the backend; the response travels the same way back.
+    Two signalling modes exist:
+    - {b interrupts}: each leg is an inter-VM interrupt (~17 us);
+    - {b polling}: both sides spin on the page for up to 200 us before
+      sleeping, so a hot handoff costs under a microsecond.
+
+    A channel whose last exchange is older than the cold threshold
+    pays a per-leg surcharge (idle worker wakeup — see {!Config}).
+
+    The page layout: request slot at 0, response slot at 1024, a
+    notification counter at 2048 (the backend's asynchronous messages
+    to the frontend, §5.1). *)
+
+type t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  page : Hypervisor.Shared_page.t;
+  front_view : Hypervisor.Shared_page.view;
+  back_view : Hypervisor.Shared_page.view;
+  req_rx : unit Sim.Mailbox.t; (* backend wakes here on request legs *)
+  resp_rx : unit Sim.Mailbox.t; (* frontend wakes here on response legs *)
+  notify_rx : unit Sim.Mailbox.t; (* frontend async-notification wakeups *)
+  rpc_mutex : Sim.Semaphore.t; (* one exchange in the page at a time *)
+  (* Cold-path tracking is per receiving endpoint: a leg towards a
+     worker that has been idle pays the cold surcharge (idle wakeup,
+     scheduler, cache refill), while a recently-active receiver is
+     hot.  This is what makes back-to-back no-ops cost ~35us while an
+     isolated input event costs hundreds (§6.1.1 vs §6.1.5). *)
+  mutable front_last_wake : float;
+  mutable back_last_wake : float;
+  mutable legs : int;
+  mutable cold_legs : int;
+  mutable rpcs : int;
+  mutable notifications : int;
+  mutable pending_notify : bool; (* signal collapsing: one interrupt pending *)
+  mutable rejected_busy : int;
+}
+
+let req_off = 0
+let resp_off = 1024
+let notify_off = 2048
+
+let create engine ~config ~phys ~guest_vm ~driver_vm =
+  let page = Hypervisor.Shared_page.allocate phys in
+  let (_ : int) =
+    Hypervisor.Shared_page.map_into page guest_vm ~perms:Memory.Perm.rw
+  in
+  let (_ : int) =
+    Hypervisor.Shared_page.map_into page driver_vm ~perms:Memory.Perm.rw
+  in
+  {
+    engine;
+    config;
+    page;
+    front_view = Hypervisor.Shared_page.view_of page guest_vm;
+    back_view = Hypervisor.Shared_page.view_of page driver_vm;
+    req_rx = Sim.Mailbox.create engine;
+    resp_rx = Sim.Mailbox.create engine;
+    notify_rx = Sim.Mailbox.create engine;
+    rpc_mutex = Sim.Semaphore.create 1;
+    front_last_wake = neg_infinity;
+    back_last_wake = neg_infinity;
+    legs = 0;
+    cold_legs = 0;
+    rpcs = 0;
+    notifications = 0;
+    pending_notify = false;
+    rejected_busy = 0;
+  }
+
+(* One signalling leg towards [rx] on [receiver] side: transfer
+   latency, plus the cold surcharge when that receiver has been idle. *)
+let leg t ~receiver rx =
+  let now = Sim.Engine.now t.engine in
+  let last =
+    match receiver with `Front -> t.front_last_wake | `Back -> t.back_last_wake
+  in
+  let cold = now -. last > t.config.Config.cold_threshold_us in
+  (match receiver with
+  | `Front -> t.front_last_wake <- now
+  | `Back -> t.back_last_wake <- now);
+  t.legs <- t.legs + 1;
+  if cold then t.cold_legs <- t.cold_legs + 1;
+  let delay =
+    Config.leg_latency t.config +. (if cold then Config.cold_extra t.config else 0.)
+  in
+  Sim.Engine.at t.engine ~delay (fun () -> Sim.Mailbox.send rx ())
+
+let marshal t = Sim.Engine.wait t.config.Config.marshal_us
+
+let rpc_mutex t = t.rpc_mutex
+
+(** Frontend: send a request and wait for the response.  The caller
+    must hold [rpc_mutex] ({!Chan_pool} manages this). *)
+let rpc_locked t (req_bytes : bytes) : bytes =
+  t.rpcs <- t.rpcs + 1;
+  marshal t;
+  t.front_view.Hypervisor.Shared_page.write ~offset:req_off req_bytes;
+  leg t ~receiver:`Back t.req_rx;
+  let () = Sim.Mailbox.recv t.resp_rx in
+  marshal t;
+  t.front_view.Hypervisor.Shared_page.read ~offset:resp_off ~len:Proto.slot_size
+
+(** Standalone variant taking the mutex itself (tests, single-channel
+    setups). *)
+let rpc t req_bytes =
+  Sim.Semaphore.with_resource t.rpc_mutex (fun () -> rpc_locked t req_bytes)
+
+(** Backend: block for the next request. *)
+let next_request t : bytes =
+  let () = Sim.Mailbox.recv t.req_rx in
+  marshal t;
+  t.back_view.Hypervisor.Shared_page.read ~offset:req_off ~len:Proto.slot_size
+
+(** Backend: complete the pending request. *)
+let respond t (resp_bytes : bytes) =
+  marshal t;
+  t.back_view.Hypervisor.Shared_page.write ~offset:resp_off resp_bytes;
+  leg t ~receiver:`Front t.resp_rx
+
+(** Backend: asynchronous notification towards the frontend (§5.1's
+    "message to the frontend, e.g., when the keyboard is pressed").
+    Runs in callback context (no waits): marshal cost is folded into
+    the leg. *)
+let notify t =
+  t.notifications <- t.notifications + 1;
+  let counter = t.back_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off in
+  t.back_view.Hypervisor.Shared_page.write_u32 ~offset:notify_off (counter + 1);
+  (* Signals collapse: while a notification interrupt is pending, new
+     events only bump the counter (like SIGIO, §2.1). *)
+  if not t.pending_notify then begin
+    t.pending_notify <- true;
+    leg t ~receiver:`Front t.notify_rx
+  end
+
+(** Frontend: block for the next notification. *)
+let next_notification t =
+  let () = Sim.Mailbox.recv t.notify_rx in
+  t.pending_notify <- false;
+  t.front_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off
+
+type stats = {
+  legs : int;
+  cold_legs : int;
+  rpcs : int;
+  notifications : int;
+  rejected_busy : int;
+}
+
+let stats (t : t) : stats =
+  {
+    legs = t.legs;
+    cold_legs = t.cold_legs;
+    rpcs = t.rpcs;
+    notifications = t.notifications;
+    rejected_busy = t.rejected_busy;
+  }

@@ -1,0 +1,45 @@
+(** CVD transport: a shared memory page plus inter-VM signalling
+    (§5.1), in interrupt or polling mode, with per-receiver cold-path
+    accounting and signal-collapsing notifications. *)
+
+type t
+
+(* The record is abstract except for the mutex Chan_pool coordinates on. *)
+val create :
+  Sim.Engine.t ->
+  config:Config.t ->
+  phys:Memory.Phys_mem.t ->
+  guest_vm:Hypervisor.Vm.t ->
+  driver_vm:Hypervisor.Vm.t ->
+  t
+
+val rpc_mutex : t -> Sim.Semaphore.t
+
+(** Frontend: one request/response exchange.  [rpc_locked] requires
+    the caller to hold {!rpc_mutex} (see {!Chan_pool}); [rpc] takes it
+    itself. *)
+val rpc_locked : t -> bytes -> bytes
+
+val rpc : t -> bytes -> bytes
+
+(** Backend: block for the next request / complete it. *)
+val next_request : t -> bytes
+
+val respond : t -> bytes -> unit
+
+(** Backend: asynchronous notification (collapses while pending, like
+    SIGIO).  Safe from engine callbacks. *)
+val notify : t -> unit
+
+(** Frontend: block for a notification; returns the event counter. *)
+val next_notification : t -> int
+
+type stats = {
+  legs : int;
+  cold_legs : int;
+  rpcs : int;
+  notifications : int;
+  rejected_busy : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,104 @@
+(** Paradice configuration: every tunable of the system and of its
+    performance model, with the paper's defaults.
+
+    Latency constants are calibrated against the paper's direct
+    measurements (§6.1.1, §6.1.5):
+    - a no-op file operation costs ~35 us with interrupts, "most of
+      which comes from two inter-VM interrupts", and ~2 us with
+      polling;
+    - the CVD polls the shared page for 200 us before sleeping;
+    - cold-path forwarding (an idle channel, as in the mouse-latency
+      experiment) costs substantially more per leg than the hot
+      pipelined path, which is why §6.1.5's mouse latency (296 us
+      interrupts / 179 us polling) is far above 2 x the no-op cost.
+      The cold surcharges below are calibrated to those two numbers. *)
+
+type comm_mode = Interrupts | Polling
+
+type ioctl_id_mode =
+  | Analyzer_table (* static entries + JIT slices from the analyzer (§4.1) *)
+  | Macro_only (* command-number decoding only: breaks nested-copy ioctls *)
+
+type t = {
+  comm_mode : comm_mode;
+  (* -- transport -- *)
+  interrupt_latency_us : float; (* one inter-VM interrupt, hot path *)
+  polling_latency_us : float; (* one shared-page handoff under polling *)
+  marshal_us : float; (* serialise/deserialise one message *)
+  poll_window_us : float; (* spin window before sleeping (§5.1) *)
+  cold_threshold_us : float; (* channel idle longer than this = cold *)
+  cold_extra_interrupt_us : float; (* per-leg surcharge, cold, interrupts *)
+  cold_extra_polling_us : float; (* per-leg surcharge, cold, polling *)
+  (* -- isolation -- *)
+  validate_grants : bool; (* fault-isolation runtime checks (§4.1) *)
+  data_isolation : bool; (* protected memory regions (§4.2) *)
+  hypercall_us : float; (* one hypervisor API call from the driver VM *)
+  grant_declare_us : float; (* frontend writes one grant entry *)
+  region_switch_per_page_us : float; (* IOMMU remap cost per page (§5.3) *)
+  (* -- CVD policy -- *)
+  ioctl_id_mode : ioctl_id_mode;
+  max_queued_ops : int; (* per-guest wait-queue cap, DoS protection (§5.1) *)
+  channels_per_guest : int; (* parallel backend workers per guest, so a
+                                blocking read does not stall other files *)
+  (* -- guest/OS costs -- *)
+  sched_wake_us : float; (* waking a blocked application thread *)
+  da_irq_extra_us : float; (* interrupt-injection overhead under device
+                               assignment (native = 0) *)
+  (* -- workload-visible device costs -- *)
+  input_delivery_us : float; (* USB + input-core path, event -> evdev queue *)
+}
+
+let default =
+  {
+    comm_mode = Interrupts;
+    interrupt_latency_us = 17.3;
+    polling_latency_us = 0.9;
+    marshal_us = 0.1;
+    poll_window_us = 200.;
+    cold_threshold_us = 1_000.;
+    cold_extra_interrupt_us = 103.2;
+    cold_extra_polling_us = 60.7;
+    validate_grants = true;
+    data_isolation = false;
+    hypercall_us = 0.9;
+    grant_declare_us = 0.15;
+    region_switch_per_page_us = 0.6;
+    ioctl_id_mode = Analyzer_table;
+    max_queued_ops = 100;
+    channels_per_guest = 4;
+    sched_wake_us = 38.4;
+    da_irq_extra_us = 16.;
+    input_delivery_us = 38.4;
+  }
+
+let polling = { default with comm_mode = Polling }
+
+let with_data_isolation t = { t with data_isolation = true }
+
+(** The DSM-based cross-machine configuration sketched in Â§8's future
+    work: guest VM and driver VM on separate physical hosts, the
+    shared pages kept coherent over the network.  Each signalling leg
+    then costs a network one-way plus the DSM protocol; this preset
+    models a 10GbE RDMA-class interconnect. *)
+let remote_dsm =
+  {
+    default with
+    interrupt_latency_us = 65.0; (* one-way network + DSM coherence *)
+    polling_latency_us = 55.0; (* polling cannot beat the wire *)
+    cold_extra_interrupt_us = 103.2;
+    cold_extra_polling_us = 103.2;
+  }
+
+(** One-way transfer latency for the current mode (hot path). *)
+let leg_latency t =
+  match t.comm_mode with
+  | Interrupts -> t.interrupt_latency_us
+  | Polling -> t.polling_latency_us
+
+let cold_extra t =
+  match t.comm_mode with
+  | Interrupts -> t.cold_extra_interrupt_us
+  | Polling -> t.cold_extra_polling_us
+
+let mode_name t =
+  match t.comm_mode with Interrupts -> "interrupts" | Polling -> "polling"

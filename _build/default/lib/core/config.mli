@@ -1,0 +1,42 @@
+(** Paradice configuration: every tunable of the system and of its
+    calibrated performance model (see EXPERIMENTS.md §Calibration). *)
+
+type comm_mode = Interrupts | Polling
+
+type ioctl_id_mode =
+  | Analyzer_table (** static entries + JIT slices (§4.1) *)
+  | Macro_only (** command-number decoding only; nested ioctls fail *)
+
+type t = {
+  comm_mode : comm_mode;
+  interrupt_latency_us : float;
+  polling_latency_us : float;
+  marshal_us : float;
+  poll_window_us : float;
+  cold_threshold_us : float;
+  cold_extra_interrupt_us : float;
+  cold_extra_polling_us : float;
+  validate_grants : bool;
+  data_isolation : bool;
+  hypercall_us : float;
+  grant_declare_us : float;
+  region_switch_per_page_us : float;
+  ioctl_id_mode : ioctl_id_mode;
+  max_queued_ops : int;
+  channels_per_guest : int;
+  sched_wake_us : float;
+  da_irq_extra_us : float;
+  input_delivery_us : float;
+}
+
+val default : t
+val polling : t
+val with_data_isolation : t -> t
+
+(** §8's cross-machine DSM transport (future work), modelled as a
+    10GbE RDMA-class interconnect. *)
+val remote_dsm : t
+
+val leg_latency : t -> float
+val cold_extra : t -> float
+val mode_name : t -> string

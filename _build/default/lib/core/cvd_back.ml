@@ -1,0 +1,257 @@
+(** The CVD backend (§3.1, §5.1).
+
+    Lives in the driver VM.  For every guest it runs a worker thread
+    that takes file operations off the channel, {e marks} itself as
+    acting for the remote guest process (so the driver's memory
+    operations redirect to the hypervisor — §5.2), invokes the real
+    device driver's file-operation handlers through the driver VM's
+    own VFS, and sends the result back.  Asynchronous driver
+    notifications (fasync) are forwarded as channel notifications. *)
+
+open Oskit
+
+type file_state = {
+  file : Defs.file; (* the real device file, shared by all workers *)
+  mutable vmas : Defs.vma list; (* backend mirrors of guest mmaps *)
+}
+
+type guest_link = {
+  guest_vm : Hypervisor.Vm.t;
+  pool : Chan_pool.t;
+  files : (int, file_state) Hashtbl.t; (* vfd -> state, shared by workers *)
+  mutable next_vfd : int;
+  mutable ops_served : int;
+}
+
+type t = {
+  kernel : Kernel.t; (* the driver VM's kernel *)
+  hyp : Hypervisor.Hyp.t;
+  config : Config.t;
+  policy : Policy.t; (* sharing policy (input -> foreground guest only) *)
+  mutable exports : string list; (* device paths guests may open *)
+  mutable links : guest_link list;
+}
+
+let create ~kernel ~hyp ~config ~policy =
+  { kernel; hyp; config; policy; exports = []; links = [] }
+
+let export t path =
+  if not (List.mem path t.exports) then t.exports <- path :: t.exports
+
+let exports t = t.exports
+
+let link_stats link = (link.ops_served, Chan_pool.stats link.pool)
+
+let find_file link vfd =
+  match Hashtbl.find_opt link.files vfd with
+  | Some fs -> fs
+  | None -> Errno.fail Errno.EINVAL "bad virtual descriptor"
+
+(* Execute one decoded request against the real driver.  The worker is
+   already marked as remote for the issuing guest process.
+
+   Operations dispatch on the file stored at open time, not through a
+   worker's descriptor table: any of the guest's pool workers may
+   carry any operation, so descriptors (which are per-task) cannot be
+   used across workers. *)
+let wrap f = try Proto.Rok (f ()) with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e)
+
+let dispatch t link worker (req : Proto.request) : Proto.response =
+  let kernel = t.kernel in
+  match req with
+  | Proto.Rnoop -> Proto.Rok 0
+  | Proto.Ropen { path } ->
+      if not (List.mem path t.exports) then Proto.Rerr (Errno.to_code Errno.ENODEV)
+      else
+        wrap (fun () ->
+            Kernel.charge_syscall kernel;
+            match Devfs.lookup (Kernel.devfs kernel) path with
+            | None -> Errno.fail Errno.ENODEV ("no such device: " ^ path)
+            | Some dev ->
+                if dev.Defs.exclusive && dev.Defs.open_count > 0 then
+                  Errno.fail Errno.EBUSY (path ^ " is single-open");
+                (* backend file ids live in their own space, derived
+                   from the guest id and the vfd *)
+                let file_id =
+                  (Hypervisor.Vm.id link.guest_vm * 100_000) + link.next_vfd
+                in
+                let file =
+                  {
+                    Defs.file_id;
+                    dev;
+                    opener = worker;
+                    nonblock = false;
+                    fasync_subscribers = [];
+                    closed = false;
+                  }
+                in
+                dev.Defs.ops.Defs.fop_open worker file;
+                dev.Defs.open_count <- dev.Defs.open_count + 1;
+                let vfd = link.next_vfd in
+                link.next_vfd <- vfd + 1;
+                Hashtbl.replace link.files vfd { file; vmas = [] };
+                vfd)
+  | Proto.Rrelease { vfd } ->
+      let fs = find_file link vfd in
+      Hashtbl.remove link.files vfd;
+      wrap (fun () ->
+          Kernel.charge_syscall kernel;
+          fs.file.Defs.dev.Defs.ops.Defs.fop_release worker fs.file;
+          fs.file.Defs.closed <- true;
+          fs.file.Defs.dev.Defs.open_count <- fs.file.Defs.dev.Defs.open_count - 1;
+          fs.file.Defs.fasync_subscribers <- [];
+          0)
+  | Proto.Rread { vfd; buf; len } ->
+      let fs = find_file link vfd in
+      wrap (fun () ->
+          Kernel.charge_syscall kernel;
+          fs.file.Defs.dev.Defs.ops.Defs.fop_read worker fs.file ~buf ~len)
+  | Proto.Rwrite { vfd; buf; len } ->
+      let fs = find_file link vfd in
+      wrap (fun () ->
+          Kernel.charge_syscall kernel;
+          fs.file.Defs.dev.Defs.ops.Defs.fop_write worker fs.file ~buf ~len)
+  | Proto.Rioctl { vfd; cmd; arg } ->
+      let fs = find_file link vfd in
+      wrap (fun () ->
+          Kernel.charge_syscall kernel;
+          fs.file.Defs.dev.Defs.ops.Defs.fop_ioctl worker fs.file ~cmd ~arg)
+  | Proto.Rmmap { vfd; gva; len; pgoff } ->
+      let fs = find_file link vfd in
+      (* Mirror the guest VMA; addresses stay in the guest's virtual
+         space, which is what the driver and hypervisor need (§5.1's
+         FreeBSD change passes exactly this range along). *)
+      let vma =
+        { Defs.vma_start = gva; vma_len = len; vma_file = fs.file; vma_pgoff = pgoff }
+      in
+      (try
+         fs.file.Defs.dev.Defs.ops.Defs.fop_mmap worker fs.file vma;
+         fs.vmas <- vma :: fs.vmas;
+         Proto.Rok 0
+       with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e))
+  | Proto.Rfault { vfd; gva } ->
+      let fs = find_file link vfd in
+      (match
+         List.find_opt
+           (fun v -> gva >= v.Defs.vma_start && gva < v.Defs.vma_start + v.Defs.vma_len)
+           fs.vmas
+       with
+      | None -> Proto.Rerr (Errno.to_code Errno.EFAULT)
+      | Some vma -> (
+          try
+            fs.file.Defs.dev.Defs.ops.Defs.fop_fault worker fs.file vma
+              ~gva:(Memory.Addr.align_down gva);
+            Proto.Rok 0
+          with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e)))
+  | Proto.Rmunmap { vfd; gva; len } ->
+      let fs = find_file link vfd in
+      (* Tear down whatever the hypervisor mapped; pages never faulted
+         in simply are not registered. *)
+      List.iter
+        (fun (addr, _) ->
+          try Uaccess.remove_pfn worker ~gva:addr
+          with Errno.Unix_error (Errno.EFAULT, _) -> ())
+        (Memory.Addr.page_chunks ~addr:gva ~len);
+      fs.vmas <-
+        List.filter (fun v -> not (v.Defs.vma_start = gva && v.Defs.vma_len = len)) fs.vmas;
+      Proto.Rok 0
+  | Proto.Rpoll { vfd; want_in; want_out; timeout_us } ->
+      let fs = find_file link vfd in
+      (* the Vfs.poll loop, against the stored file *)
+      (try
+         Kernel.charge_syscall kernel;
+         let deadline_left = ref timeout_us in
+         let rec loop () =
+           let r = fs.file.Defs.dev.Defs.ops.Defs.fop_poll worker fs.file in
+           let ready = (want_in && r.Defs.pollin) || (want_out && r.Defs.pollout) in
+           if ready || !deadline_left <= 0. then r
+           else
+             match r.Defs.poll_wq with
+             | None -> r
+             | Some wq ->
+                 let before = Sim.Engine.now (Kernel.engine kernel) in
+                 let woken = Wait_queue.sleep_timeout wq ~timeout:!deadline_left in
+                 let elapsed = Sim.Engine.now (Kernel.engine kernel) -. before in
+                 deadline_left := !deadline_left -. elapsed;
+                 if woken then loop ()
+                 else fs.file.Defs.dev.Defs.ops.Defs.fop_poll worker fs.file
+         in
+         let r = loop () in
+         Proto.Rpoll_reply { pollin = r.Defs.pollin; pollout = r.Defs.pollout }
+       with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e))
+  | Proto.Rfasync { vfd; on } ->
+      let fs = find_file link vfd in
+      wrap (fun () ->
+          Kernel.charge_syscall kernel;
+          fs.file.Defs.dev.Defs.ops.Defs.fop_fasync worker fs.file ~on;
+          (if on then begin
+             if not (List.memq worker fs.file.Defs.fasync_subscribers) then
+               fs.file.Defs.fasync_subscribers <-
+                 worker :: fs.file.Defs.fasync_subscribers
+           end
+           else
+             fs.file.Defs.fasync_subscribers <-
+               List.filter (fun t -> t != worker) fs.file.Defs.fasync_subscribers);
+          0)
+
+let serve_one t link worker (bytes : bytes) : Proto.response =
+  match Proto.decode_request bytes with
+  | exception Proto.Malformed _ -> Proto.Rerr (Errno.to_code Errno.EINVAL)
+  | req, grant_ref, pid -> (
+      link.ops_served <- link.ops_served + 1;
+      match req with
+      | Proto.Rnoop -> Proto.Rok 0 (* immediate return, no marking (§6.1.1) *)
+      | _ -> (
+          match Hypervisor.Hyp.find_process_pt t.hyp link.guest_vm ~pid with
+          | None -> Proto.Rerr (Errno.to_code Errno.EFAULT)
+          | Some pt ->
+              let rc =
+                {
+                  Defs.rc_hyp = t.hyp;
+                  rc_target = link.guest_vm;
+                  rc_pt = pt;
+                  rc_grant = grant_ref;
+                  rc_charge =
+                    (fun n -> Kernel.charge t.kernel (n *. t.config.Config.hypercall_us));
+                }
+              in
+              (try Task.with_remote worker rc (fun () -> dispatch t link worker req)
+               with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e))))
+
+(** Connect a guest: create its channel pool and workers and start
+    serving.  Returns the link; the frontend uses [link.pool]. *)
+let connect t ~guest_vm =
+  let engine = Kernel.engine t.kernel in
+  let n = max 1 t.config.Config.channels_per_guest in
+  let channels =
+    Array.init n (fun _ ->
+        Channel.create engine ~config:t.config ~phys:(Hypervisor.Hyp.phys t.hyp)
+          ~guest_vm ~driver_vm:(Kernel.vm t.kernel))
+  in
+  let pool = Chan_pool.create channels ~cap:t.config.Config.max_queued_ops in
+  let link =
+    { guest_vm; pool; files = Hashtbl.create 8; next_vfd = 1; ops_served = 0 }
+  in
+  t.links <- link :: t.links;
+  Array.iter
+    (fun channel ->
+      let worker =
+        Kernel.spawn_task t.kernel
+          ~name:(Printf.sprintf "cvd-worker-%s" (Hypervisor.Vm.name guest_vm))
+      in
+      (* forward driver fasync events to the guest, whichever worker
+         happened to register the subscription — but only while this
+         guest is in the foreground (input policy, §5.1) *)
+      Task.on_sigio worker (fun () ->
+          if Policy.input_target t.policy (Hypervisor.Vm.id guest_vm) then
+            Channel.notify (Chan_pool.notify_channel pool));
+      Sim.Engine.spawn engine ~name:"cvd-backend" (fun () ->
+          let rec loop () =
+            let bytes = Channel.next_request channel in
+            let resp = serve_one t link worker bytes in
+            Channel.respond channel (Proto.encode_response resp);
+            loop ()
+          in
+          loop ()))
+    channels;
+  link

@@ -1,0 +1,35 @@
+(** The CVD backend (§3.1, §5.1): per-guest workers in the driver VM
+    that mark themselves as acting for the remote guest process and
+    invoke the real driver through the driver VM's own VFS. *)
+
+type guest_link = {
+  guest_vm : Hypervisor.Vm.t;
+  pool : Chan_pool.t;
+  files : (int, file_state) Hashtbl.t;
+  mutable next_vfd : int;
+  mutable ops_served : int;
+}
+
+and file_state = {
+  file : Oskit.Defs.file;
+  mutable vmas : Oskit.Defs.vma list;
+}
+
+type t
+
+val create :
+  kernel:Oskit.Kernel.t ->
+  hyp:Hypervisor.Hyp.t ->
+  config:Config.t ->
+  policy:Policy.t ->
+  t
+
+(** Allow guests to open this driver-VM device path. *)
+val export : t -> string -> unit
+
+val exports : t -> string list
+val link_stats : guest_link -> int * Chan_pool.stats
+
+(** Connect a guest: create its channel pool and workers, start
+    serving. *)
+val connect : t -> guest_vm:Hypervisor.Vm.t -> guest_link

@@ -1,0 +1,239 @@
+(** The CVD frontend (§3.1, §5.1).
+
+    Lives in the guest kernel.  For every exported device it creates a
+    {e virtual device file} in the guest's /dev whose file-operation
+    handlers (i) identify and declare the operation's legitimate memory
+    operations in the grant table (§4.1) — from the syscall arguments
+    for read/write/mmap, from the analyzer's entries or command-number
+    macros for ioctl — and (ii) forward the operation over the channel
+    pool to the backend. *)
+
+open Oskit
+
+type t = {
+  kernel : Kernel.t; (* the guest's kernel *)
+  hyp : Hypervisor.Hyp.t;
+  guest_vm : Hypervisor.Vm.t;
+  pool : Chan_pool.t;
+  grant_table : Hypervisor.Grant_table.t;
+  config : Config.t;
+  (* analyzer output per device class, keyed by devfs path *)
+  entries : (string, Analyzer.Extract.t) Hashtbl.t;
+  vfds : (int, int) Hashtbl.t; (* guest file_id -> backend vfd *)
+  mutable fasync_files : Defs.file list; (* forward notifications here *)
+  mutable ops_forwarded : int;
+  mutable jit_evaluations : int;
+}
+
+let create ~kernel ~hyp ~guest_vm ~pool ~config =
+  let grant_table = Hypervisor.Hyp.setup_grant_table hyp guest_vm in
+  let t =
+    {
+      kernel;
+      hyp;
+      guest_vm;
+      pool;
+      grant_table;
+      config;
+      entries = Hashtbl.create 8;
+      vfds = Hashtbl.create 16;
+      fasync_files = [];
+      ops_forwarded = 0;
+      jit_evaluations = 0;
+    }
+  in
+  (* notification dispatcher: deliver backend messages as SIGIO on the
+     guest's subscribed virtual files *)
+  Sim.Engine.spawn (Kernel.engine kernel) ~name:"cvd-frontend-notify" (fun () ->
+      let rec loop () =
+        let (_ : int) = Channel.next_notification (Chan_pool.notify_channel pool) in
+        List.iter Vfs.kill_fasync t.fasync_files;
+        loop ()
+      in
+      loop ());
+  t
+
+let stats t = (t.ops_forwarded, t.jit_evaluations, Chan_pool.stats t.pool)
+
+(* ---- grant management ---- *)
+
+(** Declare the operation's legitimate memory operations; returns the
+    grant reference (or 0 when validation is disabled for ablation). *)
+let declare t ops =
+  if not t.config.Config.validate_grants then 0
+  else if ops = [] then
+    (* groups cannot be empty; declare a harmless zero-length entry *)
+    Hypervisor.Grant_table.declare t.grant_table
+      [ Hypervisor.Grant_table.Copy_from_user { addr = 0; len = 0 } ]
+  else begin
+    Kernel.charge t.kernel
+      (float_of_int (List.length ops) *. t.config.Config.grant_declare_us);
+    Hypervisor.Grant_table.declare t.grant_table ops
+  end
+
+let release t grant_ref =
+  if t.config.Config.validate_grants then
+    Hypervisor.Grant_table.release t.grant_table grant_ref
+
+(* ---- forwarding core ---- *)
+
+let errno_of_code code =
+  match Errno.of_code code with Some e -> e | None -> Errno.EIO
+
+(** Forward one operation: declare, register the issuing process with
+    the hypervisor, rpc, release, decode. *)
+let forward t (task : Defs.task) ~ops req : Proto.response =
+  t.ops_forwarded <- t.ops_forwarded + 1;
+  Hypervisor.Hyp.register_process t.hyp t.guest_vm ~pid:task.Defs.pid
+    ~pt:task.Defs.pt;
+  let grant_ref = declare t ops in
+  Fun.protect
+    ~finally:(fun () -> release t grant_ref)
+    (fun () ->
+      let resp_bytes =
+        try Chan_pool.rpc t.pool (Proto.encode_request ~grant_ref ~pid:task.Defs.pid req)
+        with Chan_pool.Busy ->
+          Errno.fail Errno.EBUSY "per-guest operation cap reached"
+      in
+      Proto.decode_response resp_bytes)
+
+let int_result = function
+  | Proto.Rok v -> v
+  | Proto.Rerr code -> Errno.fail (errno_of_code code) "remote operation failed"
+  | Proto.Rpoll_reply _ -> Errno.fail Errno.EIO "unexpected poll reply"
+
+let vfd_of t (file : Defs.file) =
+  match Hashtbl.find_opt t.vfds file.Defs.file_id with
+  | Some vfd -> vfd
+  | None -> Errno.fail Errno.EINVAL "virtual file has no backend descriptor"
+
+(* ---- ioctl memory-operation identification (§4.1) ---- *)
+
+let ioctl_ops t (task : Defs.task) ~path ~cmd ~arg =
+  let arg_int = Int64.to_int arg in
+  match t.config.Config.ioctl_id_mode with
+  | Config.Macro_only -> Analyzer.Cmd_macro.ops_of_cmd cmd ~arg:arg_int
+  | Config.Analyzer_table -> (
+      match Hashtbl.find_opt t.entries path with
+      | None -> Analyzer.Cmd_macro.ops_of_cmd cmd ~arg:arg_int
+      | Some table ->
+          (match Analyzer.Extract.entry_for table cmd with
+          | Some (Analyzer.Extract.Jit _) -> t.jit_evaluations <- t.jit_evaluations + 1
+          | _ -> ());
+          Analyzer.Extract.ops_for table ~cmd ~arg:arg_int
+            ~read_user:(fun ~addr ~len -> Task.read_mem task ~gva:addr ~len))
+
+(* ---- the virtual device file ---- *)
+
+(** Create the virtual device file for an exported device.  [entries]
+    is the analyzer's table for the device's driver (ioctl-capable
+    classes); [kinds] the operations the real driver implements. *)
+let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
+  (match entries with
+  | Some e -> Hashtbl.replace t.entries path e
+  | None -> ());
+  (* the guest kernel must know every forwarded operation kind *)
+  List.iter
+    (fun k ->
+      if not (Os_flavor.supports (Kernel.flavor t.kernel) k) then
+        invalid_arg
+          (Printf.sprintf "device %s needs op %s, unsupported by %s" path
+             (Os_flavor.op_kind_name k)
+             (Os_flavor.name (Kernel.flavor t.kernel))))
+    kinds;
+  let remote_fail resp = int_result resp in
+  let ops =
+    {
+      Defs.fop_kinds = kinds;
+      fop_open =
+        (fun task file ->
+          let vfd =
+            remote_fail (forward t task ~ops:[] (Proto.Ropen { path }))
+          in
+          Hashtbl.replace t.vfds file.Defs.file_id vfd);
+      fop_release =
+        (fun task file ->
+          let vfd = vfd_of t file in
+          Hashtbl.remove t.vfds file.Defs.file_id;
+          t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files;
+          ignore (remote_fail (forward t task ~ops:[] (Proto.Rrelease { vfd }))));
+      fop_read =
+        (fun task file ~buf ~len ->
+          let ops = [ Hypervisor.Grant_table.Copy_to_user { addr = buf; len } ] in
+          remote_fail
+            (forward t task ~ops (Proto.Rread { vfd = vfd_of t file; buf; len })));
+      fop_write =
+        (fun task file ~buf ~len ->
+          let ops = [ Hypervisor.Grant_table.Copy_from_user { addr = buf; len } ] in
+          remote_fail
+            (forward t task ~ops (Proto.Rwrite { vfd = vfd_of t file; buf; len })));
+      fop_ioctl =
+        (fun task file ~cmd ~arg ->
+          let ops = ioctl_ops t task ~path ~cmd ~arg in
+          remote_fail
+            (forward t task ~ops (Proto.Rioctl { vfd = vfd_of t file; cmd; arg })));
+      fop_mmap =
+        (fun task file vma ->
+          let gva = vma.Defs.vma_start and len = vma.Defs.vma_len in
+          (* create all guest page-table levels except the last (§5.2) *)
+          Memory.Guest_pt.prepare_range task.Defs.pt ~gva ~len;
+          let ops = [ Hypervisor.Grant_table.Map_page { addr = gva; len } ] in
+          ignore
+            (remote_fail
+               (forward t task ~ops
+                  (Proto.Rmmap
+                     { vfd = vfd_of t file; gva; len; pgoff = vma.Defs.vma_pgoff }))));
+      fop_fault =
+        (fun task file _vma ~gva ->
+          Memory.Guest_pt.prepare_range task.Defs.pt ~gva ~len:Memory.Addr.page_size;
+          let ops =
+            [ Hypervisor.Grant_table.Map_page { addr = gva; len = Memory.Addr.page_size } ]
+          in
+          ignore
+            (remote_fail (forward t task ~ops (Proto.Rfault { vfd = vfd_of t file; gva }))));
+      fop_vma_close =
+        (fun task file vma ->
+          ignore
+            (remote_fail
+               (forward t task ~ops:[]
+                  (Proto.Rmunmap
+                     {
+                       vfd = vfd_of t file;
+                       gva = vma.Defs.vma_start;
+                       len = vma.Defs.vma_len;
+                     }))));
+      fop_poll =
+        (fun task file ->
+          (* The backend blocks inside the driver's poll.  Forward in
+             bounded chunks and loop until some event is ready, so the
+             guest pays one forwarded operation per ready poll syscall,
+             as the netmap batching analysis assumes (§6.1.2). *)
+          let vfd = vfd_of t file in
+          let rec ask () =
+            match
+              forward t task ~ops:[]
+                (Proto.Rpoll
+                   { vfd; want_in = true; want_out = true; timeout_us = 5_000. })
+            with
+            | Proto.Rpoll_reply { pollin; pollout } ->
+                if pollin || pollout then { Defs.pollin; pollout; poll_wq = None }
+                else ask ()
+            | other ->
+                ignore (int_result other);
+                Defs.no_poll
+          in
+          ask ());
+      fop_fasync =
+        (fun task file ~on ->
+          ignore
+            (remote_fail (forward t task ~ops:[] (Proto.Rfasync { vfd = vfd_of t file; on })));
+          if on then begin
+            if not (List.memq file t.fasync_files) then
+              t.fasync_files <- file :: t.fasync_files
+          end
+          else t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files);
+    }
+  in
+  let dev = Defs.make_device ~path ~cls ~driver:("cvd/" ^ driver) ~exclusive ops in
+  Devfs.register (Kernel.devfs t.kernel) dev;
+  dev

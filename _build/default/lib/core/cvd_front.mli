@@ -1,0 +1,31 @@
+(** The CVD frontend (§3.1, §5.1): creates virtual device files in the
+    guest whose handlers declare the operation's legitimate memory
+    operations in the grant table (§4.1) and forward it over the
+    channel pool. *)
+
+type t
+
+val create :
+  kernel:Oskit.Kernel.t ->
+  hyp:Hypervisor.Hyp.t ->
+  guest_vm:Hypervisor.Vm.t ->
+  pool:Chan_pool.t ->
+  config:Config.t ->
+  t
+
+(** (operations forwarded, JIT slice evaluations, transport stats) *)
+val stats : t -> int * int * Chan_pool.stats
+
+(** Create the virtual device file for an exported device.  [entries]
+    is the analyzer's table for ioctl-heavy classes; [kinds] must all
+    be supported by the guest kernel's flavor. *)
+val export :
+  t ->
+  path:string ->
+  cls:string ->
+  driver:string ->
+  ?exclusive:bool ->
+  ?entries:Analyzer.Extract.t ->
+  kinds:Oskit.Os_flavor.op_kind list ->
+  unit ->
+  Oskit.Defs.device

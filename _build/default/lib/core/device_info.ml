@@ -1,0 +1,83 @@
+(** Device info modules (§5.1).
+
+    "Applications may need some information about the device before
+    they can use it" (the X server must know the GPU make to pick
+    libraries, §2.1).  Paradice extracts this from the driver VM and
+    exports it into each guest through a small per-class kernel
+    module: sysfs attributes plus a virtual PCI function.  These are
+    the only class-specific pieces of the generic CVD — a few dozen
+    lines per class (Table 1). *)
+
+type t = {
+  cls : string;
+  sysfs_entries : (string * string) list;
+  pci : (int * int * int) option; (* vendor, device, class code *)
+}
+
+(** Install the module into a guest kernel: populate sysfs and plug
+    the virtual PCI function. *)
+let install t ~guest_kernel ~pci_bus ~dev_path =
+  List.iter
+    (fun (key, value) ->
+      Oskit.Devfs.sysfs_set (Oskit.Kernel.devfs guest_kernel) key value)
+    t.sysfs_entries;
+  match t.pci with
+  | Some (vendor, device, class_code) ->
+      ignore (Virt_pci.add pci_bus ~vendor ~device ~class_code ~dev_path)
+  | None -> ()
+
+(* -- the five class modules of Table 1 -- *)
+
+let gpu ~vendor ~device ~vram_bytes =
+  {
+    cls = "gpu";
+    sysfs_entries =
+      [
+        ("class/drm/card0/device/vendor", Printf.sprintf "0x%04x" vendor);
+        ("class/drm/card0/device/device", Printf.sprintf "0x%04x" device);
+        ("class/drm/card0/device/vram_size", string_of_int vram_bytes);
+        ("class/drm/card0/device/driver", "radeon");
+      ];
+    pci = Some (vendor, device, Virt_pci.class_display);
+  }
+
+let input ~name ~product =
+  {
+    cls = "input";
+    sysfs_entries =
+      [
+        ("class/input/event0/device/name", name);
+        ("class/input/event0/device/id/product", Printf.sprintf "0x%04x" product);
+      ];
+    pci = Some (0x413c, product, Virt_pci.class_input);
+  }
+
+let camera ~name ~resolutions =
+  {
+    cls = "camera";
+    sysfs_entries =
+      [
+        ("class/video4linux/video0/name", name);
+        ("class/video4linux/video0/resolutions", String.concat "," resolutions);
+      ];
+    pci = Some (0x046d, 0x082d, Virt_pci.class_multimedia);
+  }
+
+let audio ~name =
+  {
+    cls = "audio";
+    sysfs_entries = [ ("class/sound/card0/id", name) ];
+    pci = Some (0x8086, 0x1e20, Virt_pci.class_audio);
+  }
+
+let ethernet ~name ~num_slots ~buf_size =
+  {
+    cls = "net";
+    sysfs_entries =
+      [
+        ("class/net/em0/device/label", name);
+        ("class/net/em0/netmap/num_slots", string_of_int num_slots);
+        ("class/net/em0/netmap/buf_size", string_of_int buf_size);
+      ];
+    pci = Some (0x8086, 0x10d3, Virt_pci.class_network);
+  }

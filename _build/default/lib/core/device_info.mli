@@ -1,0 +1,18 @@
+(** Device info modules (§5.1): the only class-specific pieces of the
+    generic CVD — tiny per-class exports of device identity into each
+    guest's sysfs and virtual PCI bus (Table 1). *)
+
+type t = {
+  cls : string;
+  sysfs_entries : (string * string) list;
+  pci : (int * int * int) option;
+}
+
+val install :
+  t -> guest_kernel:Oskit.Kernel.t -> pci_bus:Virt_pci.t -> dev_path:string -> unit
+
+val gpu : vendor:int -> device:int -> vram_bytes:int -> t
+val input : name:string -> product:int -> t
+val camera : name:string -> resolutions:string list -> t
+val audio : name:string -> t
+val ethernet : name:string -> num_slots:int -> buf_size:int -> t

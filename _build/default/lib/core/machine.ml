@@ -1,0 +1,397 @@
+(** Machine assembly: a complete simulated host.
+
+    Builds the Figure 1(c) topology — hypervisor, driver VM with the
+    real drivers and assigned devices, guest VMs with CVD frontends —
+    and also the paper's comparison configurations:
+    - {b Native}: the application runs in the same kernel as the
+      driver, no virtualization costs;
+    - {b Device_assignment}: one VM owns the device directly (interrupt
+      injection overhead, no sharing);
+    - {b Paradice}: the full system, per the given {!Config}.
+
+    Workloads only ever see a [Kernel.t] + device paths, so the same
+    workload code runs unchanged against every configuration — the
+    point of the device-file boundary. *)
+
+open Oskit
+
+type mode = Native | Device_assignment | Paradice
+
+type guest = {
+  vm : Hypervisor.Vm.t;
+  kernel : Kernel.t;
+  frontend : Cvd_front.t;
+  link : Cvd_back.guest_link;
+  pci : Virt_pci.t;
+}
+
+(* Everything needed to replay an export onto a late-added guest. *)
+type export_record = {
+  path : string;
+  cls : string;
+  driver : string;
+  exclusive : bool;
+  kinds : Os_flavor.op_kind list;
+  entries : Analyzer.Extract.t option;
+  info : Device_info.t;
+}
+
+type gpu_attachment = {
+  gpu : Devices.Gpu_hw.t;
+  radeon : Devices.Radeon_drv.t;
+  gpu_iommu : Memory.Iommu.t;
+  mc_spn : int;
+  mutable isolation : Hypervisor.Region.t option;
+}
+
+type t = {
+  mode : mode;
+  config : Config.t;
+  engine : Sim.Engine.t;
+  phys : Memory.Phys_mem.t;
+  hyp : Hypervisor.Hyp.t;
+  driver_vm : Hypervisor.Vm.t;
+  driver_kernel : Kernel.t;
+  backend : Cvd_back.t;
+  policy : Policy.t;
+  mutable exports : export_record list;
+  mutable guests : guest list;
+  mutable gpu : gpu_attachment option;
+  mutable mouse : Devices.Evdev.t option;
+  mutable keyboard : Devices.Evdev.t option;
+  mutable camera : Devices.V4l2_drv.t option;
+  mutable audio : Devices.Pcm_drv.t option;
+  mutable netmap : Devices.Netmap_drv.t option;
+}
+
+let mib = 1024 * 1024
+
+let create ?(mode = Paradice) ?(config = Config.default) ?(driver_mem_mib = 256)
+    ?(flavor = Os_flavor.Linux_3_2_0) () =
+  let engine = Sim.Engine.create () in
+  let phys = Memory.Phys_mem.create () in
+  let hyp = Hypervisor.Hyp.create phys in
+  Hypervisor.Hyp.set_validation hyp config.Config.validate_grants;
+  let driver_vm =
+    Hypervisor.Hyp.create_vm hyp ~name:"driver-vm" ~kind:Hypervisor.Vm.Driver
+      ~mem_bytes:(driver_mem_mib * mib)
+  in
+  let driver_kernel = Kernel.create ~engine ~vm:driver_vm ~flavor () in
+  let policy = Policy.create () in
+  let backend = Cvd_back.create ~kernel:driver_kernel ~hyp ~config ~policy in
+  {
+    mode;
+    config;
+    engine;
+    phys;
+    hyp;
+    driver_vm;
+    driver_kernel;
+    backend;
+    policy;
+    exports = [];
+    guests = [];
+    gpu = None;
+    mouse = None;
+    keyboard = None;
+    camera = None;
+    audio = None;
+    netmap = None;
+  }
+
+let engine t = t.engine
+let hyp t = t.hyp
+let driver_kernel t = t.driver_kernel
+let policy t = t.policy
+let config t = t.config
+let guests t = List.rev t.guests
+
+(* Extra interrupt-delivery latency the mode imposes on assigned
+   devices (interrupt injection under device assignment, §6.1.5). *)
+let irq_extra t =
+  match t.mode with
+  | Native -> 0.
+  | Device_assignment | Paradice -> t.config.Config.da_irq_extra_us
+
+(* ------------------------------------------------------------------ *)
+(* Guests                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let install_export guest (e : export_record) =
+  let (_ : Defs.device) =
+    Cvd_front.export guest.frontend ~path:e.path ~cls:e.cls ~driver:e.driver
+      ~exclusive:e.exclusive ?entries:e.entries ~kinds:e.kinds ()
+  in
+  Device_info.install e.info ~guest_kernel:guest.kernel ~pci_bus:guest.pci
+    ~dev_path:e.path
+
+let add_guest t ?(name = "guest") ?(mem_mib = 128)
+    ?(flavor = Os_flavor.Linux_3_2_0) () =
+  if t.mode <> Paradice then
+    invalid_arg "Machine.add_guest: only the Paradice mode has guest VMs";
+  let vm =
+    Hypervisor.Hyp.create_vm t.hyp ~name ~kind:Hypervisor.Vm.Guest
+      ~mem_bytes:(mem_mib * mib)
+  in
+  let kernel = Kernel.create ~engine:t.engine ~vm ~flavor () in
+  let link = Cvd_back.connect t.backend ~guest_vm:vm in
+  let frontend =
+    Cvd_front.create ~kernel ~hyp:t.hyp ~guest_vm:vm ~pool:link.Cvd_back.pool
+      ~config:t.config
+  in
+  let guest = { vm; kernel; frontend; link; pci = Virt_pci.create () } in
+  t.guests <- guest :: t.guests;
+  (* replay existing exports into the new guest *)
+  List.iter (install_export guest) (List.rev t.exports);
+  (* first guest becomes foreground *)
+  if Policy.foreground t.policy = None then
+    Policy.set_foreground t.policy (Hypervisor.Vm.id vm);
+  guest
+
+(** The kernel an application should run against in this mode: the
+    guest's for Paradice, the device-owning kernel otherwise. *)
+let app_kernel t =
+  match (t.mode, t.guests) with
+  | Paradice, g :: _ -> g.kernel
+  | Paradice, [] -> invalid_arg "Machine.app_kernel: add a guest first"
+  | (Native | Device_assignment), _ -> t.driver_kernel
+
+(** Spawn an application task in [kernel], registered with the
+    hypervisor so forwarded operations can name its address space. *)
+let spawn_app t kernel ~name =
+  let task = Kernel.spawn_task kernel ~name in
+  Hypervisor.Hyp.register_process t.hyp (Kernel.vm kernel) ~pid:task.Defs.pid
+    ~pt:task.Defs.pt;
+  task
+
+let register_export t e =
+  Cvd_back.export t.backend e.path;
+  t.exports <- e :: t.exports;
+  List.iter (fun g -> install_export g e) t.guests
+
+(* ------------------------------------------------------------------ *)
+(* Device attachment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let map_bar vm ~spa ~pages ~perms =
+  let base_gpa = Memory.Allocator.reserve_unused_range vm.Hypervisor.Vm.gpa_alloc pages in
+  for i = 0 to pages - 1 do
+    Memory.Ept.map (Hypervisor.Vm.ept vm)
+      ~gpa:(base_gpa + (i * Memory.Addr.page_size))
+      ~spa:(spa + (i * Memory.Addr.page_size))
+      ~perms
+  done;
+  base_gpa
+
+let attach_gpu t ?(vram_mib = 64) () =
+  if t.gpu <> None then invalid_arg "Machine.attach_gpu: already attached";
+  let vram_pages = vram_mib * mib / Memory.Addr.page_size in
+  let gpu_iommu = Memory.Iommu.create ~name:"gpu-iommu" in
+  let costs =
+    { Devices.Gpu_hw.default_costs with
+      Devices.Gpu_hw.irq_latency_us =
+        Devices.Gpu_hw.default_costs.Devices.Gpu_hw.irq_latency_us +. irq_extra t }
+  in
+  let gpu = Devices.Gpu_hw.create t.engine t.phys ~iommu:gpu_iommu ~vram_pages ~costs () in
+  let bar_gpa =
+    map_bar t.driver_vm ~spa:(Devices.Gpu_hw.vram_base gpu) ~pages:vram_pages
+      ~perms:Memory.Perm.rw
+  in
+  let mc_spn = Devices.Mem_ctrl.install_mmio (Devices.Gpu_hw.mem_ctrl gpu) t.phys in
+  let mc_mmio_gpa =
+    map_bar t.driver_vm ~spa:(Memory.Addr.of_pfn mc_spn) ~pages:1 ~perms:Memory.Perm.rw
+  in
+  let radeon =
+    Devices.Radeon_drv.create ~kernel:t.driver_kernel ~gpu ~iommu:gpu_iommu ~bar_gpa
+      ~mc_mmio_gpa
+  in
+  Devices.Radeon_drv.init_native radeon;
+  let (_ : Defs.device) = Devices.Radeon_drv.register radeon in
+  Devices.Gpu_hw.start gpu;
+  let att = { gpu; radeon; gpu_iommu; mc_spn; isolation = None } in
+  t.gpu <- Some att;
+  register_export t
+    {
+      path = "/dev/dri/card0";
+      cls = "gpu";
+      driver = "radeon";
+      exclusive = false;
+      kinds =
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Ioctl; Os_flavor.Mmap;
+          Os_flavor.Fault; Os_flavor.Poll ];
+      entries = Some (Analyzer.Extract.analyze Analyzer.Radeon_ir.driver_3_2_0);
+      info =
+        Device_info.gpu ~vendor:0x1002 ~device:0x6779 ~vram_bytes:(vram_mib * mib);
+    };
+  att
+
+(** Device data isolation for the GPU (§4.2, §5.3): donate per-guest
+    pools of driver RAM, create the protected regions, unmap the
+    memory-controller MMIO page from the driver VM, and switch the
+    Radeon driver into its isolation mode.  Call after every guest has
+    been added. *)
+let enable_gpu_data_isolation t ?(pool_pages_per_guest = 8192) () =
+  let att =
+    match t.gpu with
+    | Some a -> a
+    | None -> invalid_arg "enable_gpu_data_isolation: attach the GPU first"
+  in
+  if att.isolation <> None then invalid_arg "data isolation already enabled";
+  if t.guests = [] then invalid_arg "enable_gpu_data_isolation: no guests";
+  (* chronological guest order: the first guest added owns region 0 *)
+  let owners = List.map (fun g -> g.vm) (List.rev t.guests) in
+  (* the driver donates pool pages out of its own RAM (trusted init) *)
+  let donate () =
+    List.init pool_pages_per_guest (fun _ ->
+        let gpa = Hypervisor.Vm.alloc_gpa_page t.driver_vm in
+        match Memory.Ept.lookup (Hypervisor.Vm.ept t.driver_vm) ~gpa with
+        | Some (spa, _) -> (gpa, spa)
+        | None -> assert false)
+  in
+  let donations = List.map (fun _ -> donate ()) owners in
+  let pool_spns =
+    List.map (fun pages -> List.map (fun (_, spa) -> Memory.Addr.pfn spa) pages) donations
+  in
+  let mgr =
+    Hypervisor.Region.create t.hyp ~driver_vm:t.driver_vm ~iommu:att.gpu_iommu
+      ~owners ~pool_spns
+      ~dev_mem:(Devices.Gpu_hw.vram_base att.gpu,
+                Devices.Gpu_hw.vram_bytes att.gpu / Memory.Addr.page_size)
+  in
+  (* §5.3 change (iii): take the MC MMIO page away from the driver VM *)
+  Hypervisor.Region.strip_driver_access mgr att.mc_spn;
+  Devices.Radeon_drv.init_isolated att.radeon ~mgr
+    ~pool_pages:(List.concat donations);
+  att.isolation <- Some mgr;
+  mgr
+
+let attach_mouse t =
+  let ev =
+    Devices.Evdev.create t.driver_kernel ~name:"usbmouse"
+      ~delivery_latency_us:(t.config.Config.input_delivery_us +. irq_extra t)
+  in
+  let (_ : Defs.device) = Devices.Evdev.register ev ~path:"/dev/input/event0" in
+  t.mouse <- Some ev;
+  register_export t
+    {
+      path = "/dev/input/event0";
+      cls = "input";
+      driver = "evdev/usbmouse";
+      exclusive = false;
+      kinds =
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Poll;
+          Os_flavor.Fasync ];
+      entries = None;
+      info = Device_info.input ~name:"Dell USB Mouse" ~product:0x3012;
+    };
+  ev
+
+let attach_keyboard t =
+  let ev =
+    Devices.Evdev.create t.driver_kernel ~name:"usbkbd"
+      ~delivery_latency_us:(t.config.Config.input_delivery_us +. irq_extra t)
+  in
+  let (_ : Defs.device) = Devices.Evdev.register ev ~path:"/dev/input/event1" in
+  t.keyboard <- Some ev;
+  register_export t
+    {
+      path = "/dev/input/event1";
+      cls = "input";
+      driver = "evdev/usbkbd";
+      exclusive = false;
+      kinds =
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Poll;
+          Os_flavor.Fasync ];
+      entries = None;
+      info = Device_info.input ~name:"Dell USB Keyboard" ~product:0x2105;
+    };
+  ev
+
+let attach_camera t ?(fps = 29.5) () =
+  let cam = Devices.V4l2_drv.create t.driver_kernel ~fps in
+  let (_ : Defs.device) = Devices.V4l2_drv.register cam ~path:"/dev/video0" in
+  Devices.V4l2_drv.start_sensor cam;
+  t.camera <- Some cam;
+  register_export t
+    {
+      path = "/dev/video0";
+      cls = "camera";
+      driver = "V4L2/UVC";
+      exclusive = true;
+      kinds =
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Ioctl; Os_flavor.Mmap;
+          Os_flavor.Fault; Os_flavor.Poll ];
+      entries = None;
+      info =
+        Device_info.camera ~name:"Logitech HD Pro Webcam C920"
+          ~resolutions:[ "1280x720"; "1600x896"; "1920x1080" ];
+    };
+  cam
+
+let attach_audio t =
+  let pcm = Devices.Pcm_drv.create t.driver_kernel in
+  let (_ : Defs.device) = Devices.Pcm_drv.register pcm ~path:"/dev/snd/pcm0" in
+  Devices.Pcm_drv.start_codec pcm;
+  t.audio <- Some pcm;
+  register_export t
+    {
+      path = "/dev/snd/pcm0";
+      cls = "audio";
+      driver = "PCM/snd-hda-intel";
+      exclusive = false;
+      kinds =
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Write; Os_flavor.Ioctl;
+          Os_flavor.Poll ];
+      entries = None;
+      info = Device_info.audio ~name:"Intel Panther Point HD Audio";
+    };
+  pcm
+
+let attach_netmap t =
+  let iommu = Memory.Iommu.create ~name:"e1000-iommu" in
+  let nm = Devices.Netmap_drv.create t.driver_kernel ~iommu () in
+  let (_ : Defs.device) = Devices.Netmap_drv.register nm ~path:"/dev/netmap" in
+  Devices.Netmap_drv.start nm;
+  t.netmap <- Some nm;
+  register_export t
+    {
+      path = "/dev/netmap";
+      cls = "net";
+      driver = "netmap/e1000e";
+      exclusive = true;
+      kinds =
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Ioctl; Os_flavor.Mmap;
+          Os_flavor.Fault; Os_flavor.Poll ];
+      entries = None;
+      info = Device_info.ethernet ~name:"Intel Gigabit CT" ~num_slots:1024 ~buf_size:2048;
+    };
+  nm
+
+(** A null device: its only ioctl returns immediately.  Backs the
+    no-op file-operation latency microbenchmark of §6.1.1 and the
+    per-strategy comparison of Table 3. *)
+let null_ioctl = Oskit.Ioctl_num.io ~typ:'0' ~nr:0
+
+let attach_null t =
+  let ops =
+    {
+      Defs.default_ops with
+      Defs.fop_kinds = [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Ioctl ];
+      fop_ioctl =
+        (fun _task _file ~cmd ~arg:_ ->
+          if cmd = null_ioctl then 0 else Errno.fail Errno.ENOTTY "null device");
+    }
+  in
+  let dev = Defs.make_device ~path:"/dev/null0" ~cls:"test" ~driver:"null" ops in
+  Devfs.register (Kernel.devfs t.driver_kernel) dev;
+  register_export t
+    {
+      path = "/dev/null0";
+      cls = "test";
+      driver = "null";
+      exclusive = false;
+      kinds = [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Ioctl ];
+      entries = None;
+      info = { Device_info.cls = "test"; sysfs_entries = []; pci = None };
+    };
+  dev

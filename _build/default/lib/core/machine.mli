@@ -1,0 +1,107 @@
+(** Machine assembly: a complete simulated host in the Figure 1(c)
+    topology, or the paper's Native / Device-assignment comparison
+    configurations.  Workloads only ever see a kernel + device paths,
+    so the same code runs unchanged against every mode. *)
+
+type mode = Native | Device_assignment | Paradice
+
+type guest = {
+  vm : Hypervisor.Vm.t;
+  kernel : Oskit.Kernel.t;
+  frontend : Cvd_front.t;
+  link : Cvd_back.guest_link;
+  pci : Virt_pci.t;
+}
+
+type export_record = {
+  path : string;
+  cls : string;
+  driver : string;
+  exclusive : bool;
+  kinds : Oskit.Os_flavor.op_kind list;
+  entries : Analyzer.Extract.t option;
+  info : Device_info.t;
+}
+
+type gpu_attachment = {
+  gpu : Devices.Gpu_hw.t;
+  radeon : Devices.Radeon_drv.t;
+  gpu_iommu : Memory.Iommu.t;
+  mc_spn : int;
+  mutable isolation : Hypervisor.Region.t option;
+}
+
+type t = {
+  mode : mode;
+  config : Config.t;
+  engine : Sim.Engine.t;
+  phys : Memory.Phys_mem.t;
+  hyp : Hypervisor.Hyp.t;
+  driver_vm : Hypervisor.Vm.t;
+  driver_kernel : Oskit.Kernel.t;
+  backend : Cvd_back.t;
+  policy : Policy.t;
+  mutable exports : export_record list;
+  mutable guests : guest list;
+  mutable gpu : gpu_attachment option;
+  mutable mouse : Devices.Evdev.t option;
+  mutable keyboard : Devices.Evdev.t option;
+  mutable camera : Devices.V4l2_drv.t option;
+  mutable audio : Devices.Pcm_drv.t option;
+  mutable netmap : Devices.Netmap_drv.t option;
+}
+
+val create :
+  ?mode:mode ->
+  ?config:Config.t ->
+  ?driver_mem_mib:int ->
+  ?flavor:Oskit.Os_flavor.t ->
+  unit ->
+  t
+
+val engine : t -> Sim.Engine.t
+val hyp : t -> Hypervisor.Hyp.t
+val driver_kernel : t -> Oskit.Kernel.t
+val policy : t -> Policy.t
+val config : t -> Config.t
+
+(** Guests in the order they were added. *)
+val guests : t -> guest list
+
+(** Add a guest VM (Paradice mode only): connects it to the backend,
+    builds its frontend, and replays every export into its /dev. *)
+val add_guest :
+  t -> ?name:string -> ?mem_mib:int -> ?flavor:Oskit.Os_flavor.t -> unit -> guest
+
+(** The kernel applications run against in this mode. *)
+val app_kernel : t -> Oskit.Kernel.t
+
+(** Spawn an application task, registered with the hypervisor so
+    forwarded operations can name its address space. *)
+val spawn_app : t -> Oskit.Kernel.t -> name:string -> Oskit.Defs.task
+
+(** {1 Device attachment}
+
+    Each attaches the hardware model and its driver to the driver VM,
+    registers the device file, and exports it (virtual device file +
+    device info module + virtual PCI function) to every guest. *)
+
+val attach_gpu : t -> ?vram_mib:int -> unit -> gpu_attachment
+
+(** Device data isolation for the GPU (§4.2, §5.3): donate per-guest
+    pools, create protected regions, take the MC MMIO page from the
+    driver VM, switch the driver to isolation mode.  Call after all
+    guests exist. *)
+val enable_gpu_data_isolation :
+  t -> ?pool_pages_per_guest:int -> unit -> Hypervisor.Region.t
+
+val attach_mouse : t -> Devices.Evdev.t
+val attach_keyboard : t -> Devices.Evdev.t
+val attach_camera : t -> ?fps:float -> unit -> Devices.V4l2_drv.t
+val attach_audio : t -> Devices.Pcm_drv.t
+val attach_netmap : t -> Devices.Netmap_drv.t
+
+(** The null device behind the §6.1.1 no-op microbenchmark. *)
+val null_ioctl : int
+
+val attach_null : t -> Oskit.Defs.device

@@ -1,0 +1,38 @@
+(** Device-sharing policies (§3.2.3, §5.1).
+
+    Per class:
+    - GPU for graphics: foreground/background — only the foreground
+      guest renders; the user flips guests with a key combination
+      (modelled by {!set_foreground});
+    - input: notifications go to the foreground guest only;
+    - GPU for computation: concurrent access from all guests;
+    - camera, netmap: exclusive (their drivers are single-open — the
+      real device's [exclusive] flag enforces it end-to-end). *)
+
+type t = {
+  mutable foreground : int option; (* guest VM id *)
+  mutable switches : int;
+}
+
+let create () = { foreground = None; switches = 0 }
+
+(** The virtual-terminal switch: make [vm_id] the foreground guest. *)
+let set_foreground t vm_id =
+  if t.foreground <> Some vm_id then begin
+    t.foreground <- Some vm_id;
+    t.switches <- t.switches + 1
+  end
+
+let foreground t = t.foreground
+let switches t = t.switches
+
+(** May this guest render to the display?  True when it is foreground
+    or no foreground has been designated (single-guest setups). *)
+let may_render t vm_id =
+  match t.foreground with None -> true | Some fg -> fg = vm_id
+
+(** Should input notifications be delivered to this guest? *)
+let input_target t vm_id = may_render t vm_id
+
+(** GPGPU is always concurrent (§5.1). *)
+let may_compute _t _vm_id = true

@@ -1,0 +1,16 @@
+(** Device-sharing policies (§3.2.3, §5.1): foreground/background for
+    GPU graphics and input, concurrent GPGPU, exclusivity via the
+    drivers' single-open flags. *)
+
+type t
+
+val create : unit -> t
+
+(** The virtual-terminal switch. *)
+val set_foreground : t -> int -> unit
+
+val foreground : t -> int option
+val switches : t -> int
+val may_render : t -> int -> bool
+val input_target : t -> int -> bool
+val may_compute : t -> int -> bool

@@ -1,0 +1,172 @@
+(** CVD wire protocol.
+
+    File operations and their results are serialised into the shared
+    page (§5.1: "the frontend puts the file operation arguments in a
+    shared page").  Fixed little-endian encoding; one request and one
+    response slot per channel. *)
+
+type request =
+  | Ropen of { path : string }
+  | Rrelease of { vfd : int }
+  | Rread of { vfd : int; buf : int; len : int }
+  | Rwrite of { vfd : int; buf : int; len : int }
+  | Rioctl of { vfd : int; cmd : int; arg : int64 }
+  | Rmmap of { vfd : int; gva : int; len : int; pgoff : int }
+  | Rfault of { vfd : int; gva : int }
+  | Rmunmap of { vfd : int; gva : int; len : int }
+  | Rpoll of { vfd : int; want_in : bool; want_out : bool; timeout_us : float }
+  | Rfasync of { vfd : int; on : bool }
+  | Rnoop (* the §6.1.1 latency microbenchmark *)
+
+type response =
+  | Rok of int
+  | Rerr of int (* positive errno code *)
+  | Rpoll_reply of { pollin : bool; pollout : bool }
+
+let slot_size = 1024
+
+(* ---- encoding ---- *)
+
+let w32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let w64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let r32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let r64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+(* header: opcode @0, grant @4, vfd @8, issuing pid @1012 (the
+   hypervisor resolves the guest process's page table from it) *)
+let pid_off = 1012
+
+let encode_request ~grant_ref ~pid req =
+  let b = Bytes.make slot_size '\000' in
+  let vfd_of = function
+    | Ropen _ | Rnoop -> 0
+    | Rrelease { vfd } | Rread { vfd; _ } | Rwrite { vfd; _ } | Rioctl { vfd; _ }
+    | Rmmap { vfd; _ } | Rfault { vfd; _ } | Rmunmap { vfd; _ } | Rpoll { vfd; _ }
+    | Rfasync { vfd; _ } ->
+        vfd
+  in
+  w32 b 4 grant_ref;
+  w32 b 8 (vfd_of req);
+  w32 b pid_off pid;
+  (match req with
+  | Ropen { path } ->
+      w32 b 0 1;
+      w32 b 12 (String.length path);
+      Bytes.blit_string path 0 b 16 (String.length path)
+  | Rrelease _ -> w32 b 0 2
+  | Rread { buf; len; _ } ->
+      w32 b 0 3;
+      w64 b 16 buf;
+      w64 b 24 len
+  | Rwrite { buf; len; _ } ->
+      w32 b 0 4;
+      w64 b 16 buf;
+      w64 b 24 len
+  | Rioctl { cmd; arg; _ } ->
+      w32 b 0 5;
+      w64 b 16 cmd;
+      Bytes.set_int64_le b 24 arg
+  | Rmmap { gva; len; pgoff; _ } ->
+      w32 b 0 6;
+      w64 b 16 gva;
+      w64 b 24 len;
+      w64 b 32 pgoff
+  | Rfault { gva; _ } ->
+      w32 b 0 7;
+      w64 b 16 gva
+  | Rmunmap { gva; len; _ } ->
+      w32 b 0 8;
+      w64 b 16 gva;
+      w64 b 24 len
+  | Rpoll { want_in; want_out; timeout_us; _ } ->
+      w32 b 0 9;
+      w32 b 16 (if want_in then 1 else 0);
+      w32 b 20 (if want_out then 1 else 0);
+      Bytes.set_int64_le b 24 (Int64.bits_of_float timeout_us)
+  | Rfasync { on; _ } ->
+      w32 b 0 10;
+      w32 b 16 (if on then 1 else 0)
+  | Rnoop -> w32 b 0 11);
+  b
+
+exception Malformed of string
+
+let decode_request b =
+  let opcode = r32 b 0 in
+  let grant_ref = r32 b 4 in
+  let vfd = r32 b 8 in
+  let pid = r32 b pid_off in
+  let req =
+    match opcode with
+    | 1 ->
+        let len = r32 b 12 in
+        if len < 0 || len > 256 then raise (Malformed "path length");
+        Ropen { path = Bytes.sub_string b 16 len }
+    | 2 -> Rrelease { vfd }
+    | 3 -> Rread { vfd; buf = r64 b 16; len = r64 b 24 }
+    | 4 -> Rwrite { vfd; buf = r64 b 16; len = r64 b 24 }
+    | 5 -> Rioctl { vfd; cmd = r64 b 16; arg = Bytes.get_int64_le b 24 }
+    | 6 -> Rmmap { vfd; gva = r64 b 16; len = r64 b 24; pgoff = r64 b 32 }
+    | 7 -> Rfault { vfd; gva = r64 b 16 }
+    | 8 -> Rmunmap { vfd; gva = r64 b 16; len = r64 b 24 }
+    | 9 ->
+        Rpoll
+          {
+            vfd;
+            want_in = r32 b 16 <> 0;
+            want_out = r32 b 20 <> 0;
+            timeout_us = Int64.float_of_bits (Bytes.get_int64_le b 24);
+          }
+    | 10 -> Rfasync { vfd; on = r32 b 16 <> 0 }
+    | 11 -> Rnoop
+    | n -> raise (Malformed (Printf.sprintf "opcode %d" n))
+  in
+  (req, grant_ref, pid)
+
+let encode_response resp =
+  let b = Bytes.make slot_size '\000' in
+  (match resp with
+  | Rok v ->
+      w32 b 0 1;
+      w64 b 8 v
+  | Rerr code ->
+      w32 b 0 2;
+      w32 b 8 code
+  | Rpoll_reply { pollin; pollout } ->
+      w32 b 0 3;
+      w32 b 8 (if pollin then 1 else 0);
+      w32 b 12 (if pollout then 1 else 0));
+  b
+
+let decode_response b =
+  match r32 b 0 with
+  | 1 -> Rok (r64 b 8)
+  | 2 -> Rerr (r32 b 8)
+  | 3 -> Rpoll_reply { pollin = r32 b 8 <> 0; pollout = r32 b 12 <> 0 }
+  | n -> raise (Malformed (Printf.sprintf "response tag %d" n))
+
+let op_kind_of_request = function
+  | Ropen _ -> Oskit.Os_flavor.Open
+  | Rrelease _ -> Oskit.Os_flavor.Release
+  | Rread _ -> Oskit.Os_flavor.Read
+  | Rwrite _ -> Oskit.Os_flavor.Write
+  | Rioctl _ -> Oskit.Os_flavor.Ioctl
+  | Rmmap _ -> Oskit.Os_flavor.Mmap
+  | Rfault _ -> Oskit.Os_flavor.Fault
+  | Rmunmap _ -> Oskit.Os_flavor.Mmap
+  | Rpoll _ -> Oskit.Os_flavor.Poll
+  | Rfasync _ -> Oskit.Os_flavor.Fasync
+  | Rnoop -> Oskit.Os_flavor.Ioctl
+
+let request_name = function
+  | Ropen _ -> "open"
+  | Rrelease _ -> "release"
+  | Rread _ -> "read"
+  | Rwrite _ -> "write"
+  | Rioctl _ -> "ioctl"
+  | Rmmap _ -> "mmap"
+  | Rfault _ -> "fault"
+  | Rmunmap _ -> "munmap"
+  | Rpoll _ -> "poll"
+  | Rfasync _ -> "fasync"
+  | Rnoop -> "noop"

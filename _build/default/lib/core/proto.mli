@@ -1,0 +1,35 @@
+(** CVD wire protocol: file operations and results serialised into the
+    shared page (§5.1). *)
+
+type request =
+  | Ropen of { path : string }
+  | Rrelease of { vfd : int }
+  | Rread of { vfd : int; buf : int; len : int }
+  | Rwrite of { vfd : int; buf : int; len : int }
+  | Rioctl of { vfd : int; cmd : int; arg : int64 }
+  | Rmmap of { vfd : int; gva : int; len : int; pgoff : int }
+  | Rfault of { vfd : int; gva : int }
+  | Rmunmap of { vfd : int; gva : int; len : int }
+  | Rpoll of { vfd : int; want_in : bool; want_out : bool; timeout_us : float }
+  | Rfasync of { vfd : int; on : bool }
+  | Rnoop (** the §6.1.1 latency microbenchmark *)
+
+type response =
+  | Rok of int
+  | Rerr of int (** positive errno code *)
+  | Rpoll_reply of { pollin : bool; pollout : bool }
+
+val slot_size : int
+
+exception Malformed of string
+
+val encode_request : grant_ref:int -> pid:int -> request -> bytes
+
+(** Returns [(request, grant_ref, pid)]; raises {!Malformed} on
+    garbage (a malicious frontend cannot crash the backend). *)
+val decode_request : bytes -> request * int * int
+
+val encode_response : response -> bytes
+val decode_response : bytes -> response
+val op_kind_of_request : request -> Oskit.Os_flavor.op_kind
+val request_name : request -> string

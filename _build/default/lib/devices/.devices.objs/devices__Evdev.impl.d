@@ -1,0 +1,1 @@
+lib/devices/evdev.ml: Bytes Defs Devfs Errno Int32 Kernel List Os_flavor Oskit Queue Sim Uaccess Vfs Wait_queue

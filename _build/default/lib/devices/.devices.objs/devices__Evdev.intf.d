@@ -1,0 +1,1 @@
+lib/devices/evdev.mli: Oskit

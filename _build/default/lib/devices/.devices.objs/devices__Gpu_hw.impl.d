@@ -1,0 +1,1 @@
+lib/devices/gpu_hw.ml: Bytes Fmt Hashtbl Int32 Int64 List Mem_ctrl Memory Queue Sim

@@ -1,0 +1,1 @@
+lib/devices/gpu_hw.mli: Mem_ctrl Memory Sim

@@ -1,0 +1,1 @@
+lib/devices/mem_ctrl.ml: Bytes Char Int64 Memory

@@ -1,0 +1,1 @@
+lib/devices/mem_ctrl.mli: Memory

@@ -1,0 +1,1 @@
+lib/devices/netmap_drv.mli: Memory Oskit

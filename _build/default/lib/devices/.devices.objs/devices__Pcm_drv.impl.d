@@ -1,0 +1,1 @@
+lib/devices/pcm_drv.ml: Bytes Defs Devfs Errno Int32 Int64 Ioctl_num Kernel Os_flavor Oskit Sim Uaccess Wait_queue

@@ -1,0 +1,1 @@
+lib/devices/pcm_drv.mli: Oskit

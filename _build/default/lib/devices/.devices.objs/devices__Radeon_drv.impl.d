@@ -1,0 +1,1 @@
+lib/devices/radeon_drv.ml: Array Bytes Defs Devfs Errno Float Gpu_hw Hashtbl Hypervisor Int32 Int64 Kernel List Mem_ctrl Memory Os_flavor Oskit Radeon_ioctl Sim Uaccess Wait_queue

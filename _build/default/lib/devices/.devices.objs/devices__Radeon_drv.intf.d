@@ -1,0 +1,1 @@
+lib/devices/radeon_drv.mli: Gpu_hw Hypervisor Memory Oskit

@@ -1,0 +1,1 @@
+lib/devices/radeon_ioctl.ml: Oskit

@@ -1,0 +1,1 @@
+lib/devices/v4l2_drv.ml: Array Bytes Defs Devfs Errno Hypervisor Int32 Int64 Ioctl_num Kernel Memory Os_flavor Oskit Sim Uaccess Wait_queue

@@ -1,0 +1,1 @@
+lib/devices/v4l2_drv.mli: Oskit

@@ -1,0 +1,165 @@
+(** Input devices: the evdev event interface plus mouse/keyboard
+    hardware models.
+
+    Events are 16-byte records (timestamp, type, code, value) queued by
+    the hardware; [read] drains the queue, [poll] and [fasync] signal
+    arrival — the asynchronous-notification path whose forwarding
+    latency §6.1.5 measures. *)
+
+open Oskit
+
+type event = { time_us : float; ev_type : int; code : int; value : int }
+
+let ev_syn = 0x00
+let ev_key = 0x01
+let ev_rel = 0x02
+
+let rel_x = 0x00
+let rel_y = 0x01
+
+let event_bytes = 16
+
+let encode_event e =
+  let b = Bytes.create event_bytes in
+  Bytes.set_int32_le b 0 (Int32.of_int (int_of_float e.time_us));
+  Bytes.set_int32_le b 4 (Int32.of_int e.ev_type);
+  Bytes.set_int32_le b 8 (Int32.of_int e.code);
+  Bytes.set_int32_le b 12 (Int32.of_int e.value);
+  b
+
+let decode_event b off =
+  {
+    time_us = float_of_int (Int32.to_int (Bytes.get_int32_le b off));
+    ev_type = Int32.to_int (Bytes.get_int32_le b (off + 4));
+    code = Int32.to_int (Bytes.get_int32_le b (off + 8));
+    value = Int32.to_int (Bytes.get_int32_le b (off + 12));
+  }
+
+type t = {
+  kernel : Kernel.t;
+  name : string;
+  delivery_latency_us : float;
+      (* USB interrupt + input-core processing between the physical
+         event and the evdev queue: ~38 us natively, +16 us under
+         device assignment (§6.1.5) *)
+  queue : event Queue.t;
+  wq : Wait_queue.t;
+  mutable open_files : Defs.file list; (* fasync delivery targets *)
+  mutable dropped : int;
+  max_queue : int;
+  (* latency probe: driver-side receive time of each event, consumed
+     when the matching read reaches the driver (§6.1.5's methodology) *)
+  mutable pending_report_times : float list;
+  mutable read_latencies : float list;
+}
+
+let create ?(delivery_latency_us = 0.) kernel ~name =
+  {
+    kernel;
+    name;
+    delivery_latency_us;
+    queue = Queue.create ();
+    wq = Wait_queue.create (Kernel.engine kernel);
+    open_files = [];
+    dropped = 0;
+    max_queue = 1024;
+    pending_report_times = [];
+    read_latencies = [];
+  }
+
+let read_latencies t = t.read_latencies
+
+(** Hardware-side event injection (called by the mouse/keyboard models
+    below).  The event reaches the evdev queue after the configured
+    delivery latency; the latency probe starts at the {e physical}
+    event time, matching §6.1.5's measurement. *)
+let inject t e =
+  let eng = Kernel.engine t.kernel in
+  let reported_at = Sim.Engine.now eng in
+  let deliver () =
+    if Queue.length t.queue >= t.max_queue then t.dropped <- t.dropped + 1
+    else begin
+      Queue.add e t.queue;
+      t.pending_report_times <- t.pending_report_times @ [ reported_at ];
+      Wait_queue.wake_all t.wq;
+      List.iter Vfs.kill_fasync t.open_files
+    end
+  in
+  if t.delivery_latency_us <= 0. then deliver ()
+  else Sim.Engine.at eng ~delay:t.delivery_latency_us deliver
+
+let file_ops t =
+  {
+    Defs.default_ops with
+    Defs.fop_kinds =
+      [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Poll;
+        Os_flavor.Fasync ];
+    fop_open = (fun _task file -> t.open_files <- file :: t.open_files);
+    fop_release =
+      (fun _task file -> t.open_files <- List.filter (fun f -> f != file) t.open_files);
+    fop_read =
+      (fun task file ~buf ~len ->
+        let max_events = len / event_bytes in
+        if max_events = 0 then Errno.fail Errno.EINVAL "buffer too small";
+        (* block until at least one event, honouring O_NONBLOCK *)
+        while Queue.is_empty t.queue do
+          if file.Defs.nonblock then Errno.fail Errno.EAGAIN "no events";
+          Wait_queue.sleep t.wq
+        done;
+        (* the read has "reached the driver": close the latency probe
+           for each event we are about to deliver *)
+        let now = Sim.Engine.now (Kernel.engine t.kernel) in
+        let n = min max_events (Queue.length t.queue) in
+        let out = Bytes.create (n * event_bytes) in
+        for i = 0 to n - 1 do
+          let e = Queue.take t.queue in
+          Bytes.blit (encode_event e) 0 out (i * event_bytes) event_bytes;
+          (match t.pending_report_times with
+          | reported :: rest ->
+              t.read_latencies <- (now -. reported) :: t.read_latencies;
+              t.pending_report_times <- rest
+          | [] -> ())
+        done;
+        Uaccess.copy_to_user task ~uaddr:buf out;
+        n * event_bytes);
+    fop_poll =
+      (fun _task _file ->
+        { Defs.pollin = not (Queue.is_empty t.queue); pollout = false; poll_wq = Some t.wq });
+    fop_fasync = (fun _task _file ~on:_ -> ());
+  }
+
+let register t ~path =
+  let dev = Defs.make_device ~path ~cls:"input" ~driver:("evdev/" ^ t.name) (file_ops t) in
+  Devfs.register (Kernel.devfs t.kernel) dev;
+  dev
+
+(* ------------------------------------------------------------------ *)
+(* Hardware models                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A mouse generating [rate_hz] relative-motion reports.  Runs until
+    [moves] events have been injected. *)
+let start_mouse t ~rate_hz ~moves =
+  let eng = Kernel.engine t.kernel in
+  let interval = 1_000_000. /. rate_hz in
+  Sim.Engine.spawn eng ~name:"mouse-hw" (fun () ->
+      for i = 1 to moves do
+        Sim.Engine.wait interval;
+        let now = Sim.Engine.now eng in
+        inject t { time_us = now; ev_type = ev_rel; code = rel_x; value = (i mod 7) - 3 };
+        inject t { time_us = now; ev_type = ev_syn; code = 0; value = 0 }
+      done)
+
+(** A keyboard typing [keys] at [rate_hz] (press + release pairs). *)
+let start_keyboard t ~rate_hz ~keys =
+  let eng = Kernel.engine t.kernel in
+  let interval = 1_000_000. /. rate_hz in
+  Sim.Engine.spawn eng ~name:"kbd-hw" (fun () ->
+      List.iter
+        (fun keycode ->
+          Sim.Engine.wait interval;
+          let now = Sim.Engine.now eng in
+          inject t { time_us = now; ev_type = ev_key; code = keycode; value = 1 };
+          inject t { time_us = now; ev_type = ev_key; code = keycode; value = 0 };
+          inject t { time_us = now; ev_type = ev_syn; code = 0; value = 0 })
+        keys)

@@ -1,0 +1,100 @@
+(** Radeon driver ioctl ABI: command numbers and struct layouts.
+
+    Shared by the driver ({!Radeon_drv}), the static analyzer's IR
+    mirror of the driver ([Analyzer.Radeon_ir]) and tests.  Layouts are
+    explicit byte offsets because the structures actually travel
+    through simulated process memory.
+
+    The command set mirrors the shape of the real DRM/Radeon interface:
+    plain fixed-size commands whose memory operations follow from the
+    _IOC macro encoding, plus the nested-copy commands (CS, INFO) that
+    defeat macro parsing and need the analyzer (§4.1). *)
+
+let drm_type = 'd'
+
+(* struct gem_create { u64 size; u64 alignment; u32 handle(out); u32 domain } *)
+let gem_create_size = 24
+let gem_create = Oskit.Ioctl_num.iowr ~typ:drm_type ~nr:0x1d ~size:gem_create_size
+
+let gem_create_off_size = 0
+let gem_create_off_alignment = 8
+let gem_create_off_handle = 16
+let gem_create_off_domain = 20
+
+let domain_gtt = 0x2
+let domain_vram = 0x4
+
+(* struct gem_mmap { u32 handle; u32 pad; u64 size; u64 addr_ptr(out) } *)
+let gem_mmap_size = 24
+let gem_mmap = Oskit.Ioctl_num.iowr ~typ:drm_type ~nr:0x1e ~size:gem_mmap_size
+
+let gem_mmap_off_handle = 0
+let gem_mmap_off_size = 8
+let gem_mmap_off_addr = 16
+
+(* struct gem_close { u32 handle; u32 pad } *)
+let gem_close_size = 8
+let gem_close = Oskit.Ioctl_num.iow ~typ:drm_type ~nr:0x09 ~size:gem_close_size
+
+(* struct gem_wait_idle { u32 handle; u32 pad } *)
+let gem_wait_idle_size = 8
+let gem_wait_idle = Oskit.Ioctl_num.iow ~typ:drm_type ~nr:0x27 ~size:gem_wait_idle_size
+
+(* struct cs { u32 num_chunks; u32 pad; u64 chunks_ptr; u64 fence(out) }
+   chunks_ptr -> array of u64, each the address of a chunk header:
+   struct cs_chunk { u32 chunk_id; u32 length_dw; u64 chunk_data } —
+   the nested-copy structure of §4.1. *)
+let cs_size = 24
+let cs = Oskit.Ioctl_num.iowr ~typ:drm_type ~nr:0x26 ~size:cs_size
+
+let cs_off_num_chunks = 0
+let cs_off_chunks_ptr = 8
+let cs_off_fence = 16
+
+let cs_chunk_header_size = 16
+let chunk_off_id = 0
+let chunk_off_length_dw = 4
+let chunk_off_data = 8
+
+let chunk_id_ib = 1
+let chunk_id_relocs = 2
+
+(* struct info { u32 request; u32 pad; u64 value_ptr } — the driver
+   writes a u64 at *value_ptr: the second nested pattern. *)
+let info_size = 16
+let info = Oskit.Ioctl_num.iowr ~typ:drm_type ~nr:0x01 ~size:info_size
+
+let info_off_request = 0
+let info_off_value_ptr = 8
+
+let info_device_id = 0x00
+let info_num_gb_pipes = 0x01
+let info_accel_working = 0x03
+let info_vram_usage = 0x1e
+
+(* struct set_tiling { u32 handle; u32 tiling_flags; u32 pitch; u32 pad } *)
+let set_tiling_size = 16
+let set_tiling = Oskit.Ioctl_num.iowr ~typ:drm_type ~nr:0x38 ~size:set_tiling_size
+
+(* IB packet opcodes (our simplified command-stream encoding).  A
+   packet is a u32 opcode followed by u32 operands; reloc operands are
+   indices into the RELOCS chunk. *)
+let pkt_draw = 0x10 (* vertices, width, height, ntex, tex_reloc... *)
+let pkt_compute = 0x20 (* order, a_reloc, b_reloc, out_reloc, full *)
+let pkt_blit = 0x30 (* src_reloc, dst_reloc, len *)
+let pkt_reg_write = 0x40 (* reg, value — raw register write (§8) *)
+
+(* wait for the next (software-emulated) vertical sync — the §5.3
+   extension replacing the disabled hardware VSync under isolation *)
+let wait_vsync = Oskit.Ioctl_num.io ~typ:drm_type ~nr:0x40
+
+let all_commands =
+  [
+    ("GEM_CREATE", gem_create);
+    ("GEM_MMAP", gem_mmap);
+    ("GEM_CLOSE", gem_close);
+    ("GEM_WAIT_IDLE", gem_wait_idle);
+    ("CS", cs);
+    ("INFO", info);
+    ("SET_TILING", set_tiling);
+  ]

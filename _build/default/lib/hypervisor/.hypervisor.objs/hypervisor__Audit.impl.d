@@ -1,0 +1,1 @@
+lib/hypervisor/audit.ml: Fmt

@@ -1,0 +1,1 @@
+lib/hypervisor/grant_table.ml: Fmt Int64 List Memory Shared_page

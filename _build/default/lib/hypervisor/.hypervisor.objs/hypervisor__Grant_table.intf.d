@@ -1,0 +1,1 @@
+lib/hypervisor/grant_table.mli: Format Memory Shared_page Vm

@@ -1,0 +1,1 @@
+lib/hypervisor/hyp.ml: Audit Bytes Fmt Grant_table Hashtbl List Memory Shared_page Vm

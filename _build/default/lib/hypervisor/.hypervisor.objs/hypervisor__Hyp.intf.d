@@ -1,0 +1,1 @@
+lib/hypervisor/hyp.mli: Audit Grant_table Memory Vm

@@ -1,0 +1,1 @@
+lib/hypervisor/interrupt.mli: Sim

@@ -1,0 +1,1 @@
+lib/hypervisor/region.ml: Array Audit Bytes Hashtbl Hyp List Memory Option Printf Vm

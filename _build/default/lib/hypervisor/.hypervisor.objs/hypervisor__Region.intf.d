@@ -1,0 +1,1 @@
+lib/hypervisor/region.mli: Hyp Memory Vm

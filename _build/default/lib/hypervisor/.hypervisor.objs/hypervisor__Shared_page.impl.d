@@ -1,0 +1,1 @@
+lib/hypervisor/shared_page.ml: Bytes Int32 List Memory Vm

@@ -1,0 +1,1 @@
+lib/hypervisor/shared_page.mli: Memory Vm

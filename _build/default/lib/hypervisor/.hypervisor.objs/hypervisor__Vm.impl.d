@@ -1,0 +1,1 @@
+lib/hypervisor/vm.ml: Bytes Int32 List Memory

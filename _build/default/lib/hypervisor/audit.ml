@@ -1,0 +1,36 @@
+(** Hypervisor audit counters.
+
+    Every security-relevant decision is counted so tests can assert
+    that attacks were actually blocked (not silently absorbed) and the
+    benchmark harness can report validation overhead. *)
+
+type t = {
+  mutable hypercalls : int;
+  mutable copies_validated : int;
+  mutable copy_bytes : int;
+  mutable grants_rejected : int;
+  mutable maps_performed : int;
+  mutable unmaps_performed : int;
+  mutable region_switches : int;
+  mutable pages_scrubbed : int;
+  mutable ept_perm_updates : int;
+}
+
+let create () =
+  {
+    hypercalls = 0;
+    copies_validated = 0;
+    copy_bytes = 0;
+    grants_rejected = 0;
+    maps_performed = 0;
+    unmaps_performed = 0;
+    region_switches = 0;
+    pages_scrubbed = 0;
+    ept_perm_updates = 0;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "hypercalls=%d copies=%d bytes=%d rejected=%d maps=%d unmaps=%d switches=%d scrubbed=%d"
+    t.hypercalls t.copies_validated t.copy_bytes t.grants_rejected
+    t.maps_performed t.unmaps_performed t.region_switches t.pages_scrubbed

@@ -1,0 +1,18 @@
+(** Hypervisor audit counters: every security-relevant decision is
+    counted so tests can assert attacks were actually blocked and the
+    benches can report validation overhead. *)
+
+type t = {
+  mutable hypercalls : int;
+  mutable copies_validated : int;
+  mutable copy_bytes : int;
+  mutable grants_rejected : int;
+  mutable maps_performed : int;
+  mutable unmaps_performed : int;
+  mutable region_switches : int;
+  mutable pages_scrubbed : int;
+  mutable ept_perm_updates : int;
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+(** Grant table: the frontend's declaration of legitimate memory
+    operations (§4.1, §5.1).
+
+    The table is a single page shared between a guest VM and the
+    hypervisor.  Before forwarding a file operation, the CVD frontend
+    stores the operation's legitimate memory operations as a group of
+    entries and obtains a {e grant reference} (the index of the group's
+    first slot).  The backend attaches that reference to every
+    hypervisor memory-operation request; the hypervisor validates the
+    request against the referenced entries with a bounded scan.
+
+    Entry layout (24 bytes, 170 slots per 4 KiB page):
+    {v
+      u8  kind      0=free 1=copy_to_user 2=copy_from_user 3=map
+      u8  flags     bit0: last entry of the group
+      u16 (pad)
+      u32 len
+      u64 addr      guest virtual address
+      u64 (pad)
+    v} *)
+
+type op =
+  | Copy_to_user of { addr : int; len : int } (* driver writes process memory *)
+  | Copy_from_user of { addr : int; len : int } (* driver reads process memory *)
+  | Map_page of { addr : int; len : int } (* map device/system pages at gva *)
+
+let entry_size = 24
+let capacity = Memory.Addr.page_size / entry_size
+
+type t = {
+  page : Shared_page.t;
+  guest : Shared_page.view; (* frontend's mapping *)
+  hyp : Shared_page.view; (* hypervisor's direct view *)
+}
+
+exception Table_full
+
+let create phys ~guest_vm =
+  let page = Shared_page.allocate phys in
+  (* The guest maps its grant table read/write; the hypervisor reads it
+     directly. *)
+  let (_ : int) = Shared_page.map_into page guest_vm ~perms:Memory.Perm.rw in
+  {
+    page;
+    guest = Shared_page.view_of page guest_vm;
+    hyp = Shared_page.hypervisor_view page;
+  }
+
+let page t = t.page
+
+let kind_code = function
+  | Copy_to_user _ -> 1
+  | Copy_from_user _ -> 2
+  | Map_page _ -> 3
+
+let op_addr = function
+  | Copy_to_user { addr; _ } | Copy_from_user { addr; _ } | Map_page { addr; _ } ->
+      addr
+
+let op_len = function
+  | Copy_to_user { len; _ } | Copy_from_user { len; _ } | Map_page { len; _ } -> len
+
+let write_entry (view : Shared_page.view) ~slot ~op ~last =
+  let base = slot * entry_size in
+  view.Shared_page.write_u32 ~offset:base
+    (kind_code op lor ((if last then 1 else 0) lsl 8));
+  view.Shared_page.write_u32 ~offset:(base + 4) (op_len op);
+  view.Shared_page.write_u64 ~offset:(base + 8) (Int64.of_int (op_addr op))
+
+let read_entry (view : Shared_page.view) ~slot =
+  let base = slot * entry_size in
+  let word = view.Shared_page.read_u32 ~offset:base in
+  let kind = word land 0xff and last = word land 0x100 <> 0 in
+  let len = view.Shared_page.read_u32 ~offset:(base + 4) in
+  let addr = Int64.to_int (view.Shared_page.read_u64 ~offset:(base + 8)) in
+  let op =
+    match kind with
+    | 0 -> None
+    | 1 -> Some (Copy_to_user { addr; len })
+    | 2 -> Some (Copy_from_user { addr; len })
+    | 3 -> Some (Map_page { addr; len })
+    | _ -> None
+  in
+  (op, last)
+
+let slot_free (view : Shared_page.view) slot =
+  view.Shared_page.read_u32 ~offset:(slot * entry_size) land 0xff = 0
+
+(* ---- frontend side ---- *)
+
+(** Declare a group of operations; returns the grant reference. *)
+let declare t ops =
+  if ops = [] then invalid_arg "Grant_table.declare: empty group";
+  let n = List.length ops in
+  (* first-fit scan for n contiguous free slots *)
+  let rec fits start i =
+    i >= n || (slot_free t.guest (start + i) && fits start (i + 1))
+  in
+  let rec find start =
+    if start + n > capacity then raise Table_full
+    else if fits start 0 then start
+    else find (start + 1)
+  in
+  let start = find 0 in
+  List.iteri
+    (fun i op -> write_entry t.guest ~slot:(start + i) ~op ~last:(i = n - 1))
+    ops;
+  start
+
+(** Release a group once its file operation has completed. *)
+let release t grant_ref =
+  let rec go slot =
+    if slot >= capacity then ()
+    else begin
+      let _, last = read_entry t.guest ~slot in
+      t.guest.Shared_page.write_u32 ~offset:(slot * entry_size) 0;
+      if not last then go (slot + 1)
+    end
+  in
+  if grant_ref < 0 || grant_ref >= capacity then
+    invalid_arg "Grant_table.release: bad reference";
+  go grant_ref
+
+(* ---- hypervisor side ---- *)
+
+(** All operations declared under [grant_ref] (hypervisor's view). *)
+let lookup t grant_ref =
+  if grant_ref < 0 || grant_ref >= capacity then []
+  else begin
+    let rec go slot acc =
+      if slot >= capacity then List.rev acc
+      else
+        match read_entry t.hyp ~slot with
+        | None, _ -> List.rev acc (* free slot terminates the group *)
+        | Some op, true -> List.rev (op :: acc)
+        | Some op, false -> go (slot + 1) (op :: acc)
+    in
+    go grant_ref []
+  end
+
+let range_within ~addr ~len ~decl_addr ~decl_len =
+  len >= 0 && addr >= decl_addr && addr + len <= decl_addr + decl_len
+
+(** Does the declared group authorise [requested]?  A request is
+    covered when it falls inside a declared entry of the same kind —
+    drivers may copy a prefix or a piece of a declared buffer. *)
+let authorises t ~grant_ref ~requested =
+  let declared = lookup t grant_ref in
+  List.exists
+    (fun decl ->
+      match (decl, requested) with
+      | Copy_to_user d, Copy_to_user r ->
+          range_within ~addr:r.addr ~len:r.len ~decl_addr:d.addr ~decl_len:d.len
+      | Copy_from_user d, Copy_from_user r ->
+          range_within ~addr:r.addr ~len:r.len ~decl_addr:d.addr ~decl_len:d.len
+      | Map_page d, Map_page r ->
+          range_within ~addr:r.addr ~len:r.len ~decl_addr:d.addr ~decl_len:d.len
+      | _ -> false)
+    declared
+
+let pp_op ppf = function
+  | Copy_to_user { addr; len } -> Fmt.pf ppf "copy_to_user(0x%x, %d)" addr len
+  | Copy_from_user { addr; len } -> Fmt.pf ppf "copy_from_user(0x%x, %d)" addr len
+  | Map_page { addr; len } -> Fmt.pf ppf "map_page(0x%x, %d)" addr len

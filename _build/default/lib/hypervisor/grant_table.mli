@@ -1,0 +1,37 @@
+(** Grant table: the frontend's declaration of a file operation's
+    legitimate memory operations (§4.1), stored in a page shared
+    between guest and hypervisor and validated on every driver-VM
+    request. *)
+
+type op =
+  | Copy_to_user of { addr : int; len : int }
+      (** driver writes process memory *)
+  | Copy_from_user of { addr : int; len : int }
+      (** driver reads process memory *)
+  | Map_page of { addr : int; len : int }
+      (** driver maps device/system pages at these addresses *)
+
+type t
+
+exception Table_full
+
+val entry_size : int
+val capacity : int
+val create : Memory.Phys_mem.t -> guest_vm:Vm.t -> t
+val page : t -> Shared_page.t
+
+(** Frontend: declare a group of operations; returns the grant
+    reference the backend must attach to its requests. *)
+val declare : t -> op list -> int
+
+(** Frontend: free the group once the file operation completed. *)
+val release : t -> int -> unit
+
+(** Hypervisor: the operations declared under a reference. *)
+val lookup : t -> int -> op list
+
+(** Hypervisor: does the declared group cover [requested]?  Requests
+    inside a declared range of the same kind are covered. *)
+val authorises : t -> grant_ref:int -> requested:op -> bool
+
+val pp_op : Format.formatter -> op -> unit

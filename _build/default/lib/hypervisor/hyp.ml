@@ -1,0 +1,199 @@
+(** The hypervisor.
+
+    A Type-I hypervisor in the paper's design (§3.1, Figure 1(c)): it
+    owns system physical memory and every VM's EPT, assigns devices to
+    the driver VM, and exposes the memory-operation API of §5.2 to the
+    driver VM — with the strict runtime checks of §4.1 applied to every
+    request, because a compromised driver VM is assumed. *)
+
+type t = {
+  phys : Memory.Phys_mem.t;
+  audit : Audit.t;
+  mutable vms : Vm.t list;
+  grant_tables : (int, Grant_table.t) Hashtbl.t; (* vm id -> table *)
+  (* (vm id, pt id, gva) -> gpa backing an mmap performed via map_page *)
+  mmap_registry : (int * int * int, int) Hashtbl.t;
+  (* (vm id, pid) -> process page table: how the hypervisor resolves a
+     guest process named in a driver-VM request (the real system reads
+     the guest CR3 at trap time) *)
+  process_registry : (int * int, Memory.Guest_pt.t) Hashtbl.t;
+  mutable validate : bool; (* fault-isolation runtime checks (§4.1) *)
+  mutable next_vm_id : int;
+}
+
+exception Rejected of string
+(** A driver-VM request failed validation.  In hardware this would be
+    a hypercall error return; the driver VM sees the operation fail. *)
+
+let create phys =
+  {
+    phys;
+    audit = Audit.create ();
+    vms = [];
+    grant_tables = Hashtbl.create 8;
+    mmap_registry = Hashtbl.create 64;
+    process_registry = Hashtbl.create 64;
+    validate = true;
+    next_vm_id = 0;
+  }
+
+let set_validation t on = t.validate <- on
+
+let phys t = t.phys
+let audit t = t.audit
+let vms t = t.vms
+
+let reject t msg =
+  t.audit.Audit.grants_rejected <- t.audit.Audit.grants_rejected + 1;
+  raise (Rejected msg)
+
+(** Create a VM with [mem_bytes] of RAM: fresh frames mapped 1:1 from
+    guest physical 0 upward. *)
+let create_vm t ~name ~kind ~mem_bytes =
+  if mem_bytes <= 0 || mem_bytes mod Memory.Addr.page_size <> 0 then
+    invalid_arg "Hyp.create_vm: mem_bytes must be a positive page multiple";
+  let id = t.next_vm_id in
+  t.next_vm_id <- id + 1;
+  let pages = mem_bytes / Memory.Addr.page_size in
+  let ept = Memory.Ept.create () in
+  let base_spn = Memory.Phys_mem.alloc_frames t.phys pages in
+  for i = 0 to pages - 1 do
+    Memory.Ept.map ept
+      ~gpa:(Memory.Addr.of_pfn i)
+      ~spa:(Memory.Addr.of_pfn (base_spn + i))
+      ~perms:Memory.Perm.rwx
+  done;
+  let vm =
+    {
+      Vm.id;
+      name;
+      kind;
+      phys = t.phys;
+      ept;
+      gpa_alloc = Memory.Allocator.create ~base:0 ~size:mem_bytes;
+      mem_bytes;
+      grant_frame = None;
+    }
+  in
+  t.vms <- vm :: t.vms;
+  vm
+
+let find_vm t id = List.find_opt (fun vm -> Vm.id vm = id) t.vms
+
+(* ---- grant tables ---- *)
+
+(** Set up a guest's grant table (one page shared guest<->hypervisor). *)
+let setup_grant_table t guest =
+  let table = Grant_table.create t.phys ~guest_vm:guest in
+  guest.Vm.grant_frame <- Some (Shared_page.spn (Grant_table.page table));
+  Hashtbl.replace t.grant_tables (Vm.id guest) table;
+  table
+
+let grant_table_of t guest = Hashtbl.find_opt t.grant_tables (Vm.id guest)
+
+let check_grant t ~target ~grant_ref ~requested =
+  if t.validate then begin
+    t.audit.Audit.copies_validated <- t.audit.Audit.copies_validated + 1;
+    match Hashtbl.find_opt t.grant_tables (Vm.id target) with
+    | None -> reject t "target guest has no grant table"
+    | Some table ->
+        if not (Grant_table.authorises table ~grant_ref ~requested) then
+          reject t
+            (Fmt.str "operation %a not declared under grant %d"
+               Grant_table.pp_op requested grant_ref)
+  end
+
+(* ---- guest process registry ---- *)
+
+let register_process t vm ~pid ~pt =
+  Hashtbl.replace t.process_registry (Vm.id vm, pid) pt
+
+let find_process_pt t vm ~pid =
+  Hashtbl.find_opt t.process_registry (Vm.id vm, pid)
+
+(* ---- memory-operation API (§5.2) ---- *)
+
+(** Requests carry the caller so the hypervisor can refuse API use by
+    non-driver VMs, and a grant reference naming the frontend's
+    declaration. *)
+type request = {
+  caller : Vm.t;
+  target : Vm.t;
+  pt : Memory.Guest_pt.t; (* target process's page table *)
+  grant_ref : int;
+}
+
+let check_caller t req =
+  t.audit.Audit.hypercalls <- t.audit.Audit.hypercalls + 1;
+  if Vm.kind req.caller <> Vm.Driver then
+    reject t "memory-operation API restricted to the driver VM";
+  if Vm.id req.target = Vm.id req.caller then
+    reject t "target must be a guest VM"
+
+(** Copy [len] bytes out of the target process's memory (the driver's
+    [copy_from_user]).  Translation is per page: guest PT walk, then
+    EPT walk (§5.2). *)
+let copy_from_process t req ~gva ~len =
+  check_caller t req;
+  check_grant t ~target:req.target ~grant_ref:req.grant_ref
+    ~requested:(Grant_table.Copy_from_user { addr = gva; len });
+  let data =
+    try Vm.read_gva req.target ~pt:req.pt ~gva ~len
+    with Memory.Fault.Page_fault info ->
+      reject t (Fmt.str "target translation failed: %a" Memory.Fault.pp_info info)
+  in
+  t.audit.Audit.copy_bytes <- t.audit.Audit.copy_bytes + len;
+  data
+
+(** Copy into the target process's memory (the driver's
+    [copy_to_user]). *)
+let copy_to_process t req ~gva ~data =
+  check_caller t req;
+  check_grant t ~target:req.target ~grant_ref:req.grant_ref
+    ~requested:(Grant_table.Copy_to_user { addr = gva; len = Bytes.length data });
+  (try Vm.write_gva req.target ~pt:req.pt ~gva data
+   with Memory.Fault.Page_fault info ->
+     reject t (Fmt.str "target translation failed: %a" Memory.Fault.pp_info info));
+  t.audit.Audit.copy_bytes <- t.audit.Audit.copy_bytes + Bytes.length data
+
+(** Map one system-physical page into the target process at [gva]
+    (backs the driver's [insert_pfn] during mmap/page-fault handling).
+
+    Per §5.2: the hypervisor picks an {e unused} guest-physical page,
+    points the EPT leaf at [spa], and fixes only the {e last} level of
+    the guest page table — the frontend must have created the
+    intermediate levels already. *)
+let map_page_into_process t req ~gva ~spa ~perms =
+  check_caller t req;
+  if not (Memory.Addr.is_page_aligned gva && Memory.Addr.is_page_aligned spa) then
+    reject t "map_page: unaligned";
+  check_grant t ~target:req.target ~grant_ref:req.grant_ref
+    ~requested:(Grant_table.Map_page { addr = gva; len = Memory.Addr.page_size });
+  if not (Memory.Guest_pt.leaf_ready req.pt ~gva) then
+    reject t "map_page: guest page-table levels not prepared by frontend";
+  let key = (Vm.id req.target, Memory.Guest_pt.id req.pt, gva) in
+  if Hashtbl.mem t.mmap_registry key then reject t "map_page: gva already mapped";
+  let gpa = Memory.Allocator.reserve_unused req.target.Vm.gpa_alloc in
+  Memory.Ept.map req.target.Vm.ept ~gpa ~spa ~perms;
+  Memory.Guest_pt.map req.pt ~gva ~gpa ~perms;
+  Hashtbl.replace t.mmap_registry key gpa;
+  t.audit.Audit.maps_performed <- t.audit.Audit.maps_performed + 1
+
+(** Tear down a mapping made by {!map_page_into_process}.  The guest
+    kernel has already destroyed its own page-table leaf before the
+    driver learns of the unmap (§5.2), so only the EPT needs fixing —
+    but we tolerate (and clear) a still-present guest leaf, since a
+    malicious guest kernel might leave it. *)
+let unmap_page_from_process t ~target ~pt ~gva =
+  let key = (Vm.id target, Memory.Guest_pt.id pt, gva) in
+  match Hashtbl.find_opt t.mmap_registry key with
+  | None -> reject t "unmap_page: no such mapping"
+  | Some gpa ->
+      ignore (Memory.Guest_pt.unmap pt ~gva);
+      ignore (Memory.Ept.unmap target.Vm.ept ~gpa);
+      Memory.Allocator.unreserve target.Vm.gpa_alloc gpa;
+      Hashtbl.remove t.mmap_registry key;
+      t.audit.Audit.unmaps_performed <- t.audit.Audit.unmaps_performed + 1
+
+let mapped_via_hypervisor t ~target ~pt ~gva =
+  Hashtbl.mem t.mmap_registry (Vm.id target, Memory.Guest_pt.id pt, gva)

@@ -1,0 +1,66 @@
+(** The hypervisor (Type I, Figure 1(c)): owns system memory and every
+    EPT, and exposes the strictly-validated memory-operation API of
+    §5.2 to the driver VM. *)
+
+type t
+
+exception Rejected of string
+(** A driver-VM request failed validation (the driver VM is assumed
+    compromised, §4.1). *)
+
+val create : Memory.Phys_mem.t -> t
+val phys : t -> Memory.Phys_mem.t
+val audit : t -> Audit.t
+val vms : t -> Vm.t list
+
+(** Toggle the fault-isolation runtime checks (ablation only). *)
+val set_validation : t -> bool -> unit
+
+(** Create a VM with RAM mapped 1:1 from guest-physical 0. *)
+val create_vm : t -> name:string -> kind:Vm.kind -> mem_bytes:int -> Vm.t
+
+val find_vm : t -> int -> Vm.t option
+
+(** {1 Grant tables} *)
+
+val setup_grant_table : t -> Vm.t -> Grant_table.t
+val grant_table_of : t -> Vm.t -> Grant_table.t option
+
+(** {1 Guest process registry}
+
+    How the hypervisor resolves the process a forwarded operation
+    names (the real system reads the guest CR3 at trap time). *)
+
+val register_process : t -> Vm.t -> pid:int -> pt:Memory.Guest_pt.t -> unit
+val find_process_pt : t -> Vm.t -> pid:int -> Memory.Guest_pt.t option
+
+(** {1 The memory-operation API (§5.2)}
+
+    Every call validates the caller (driver VM only) and the grant
+    reference against the target guest's table; failures raise
+    {!Rejected} and are audited. *)
+
+type request = {
+  caller : Vm.t;
+  target : Vm.t;
+  pt : Memory.Guest_pt.t; (** target process's page table *)
+  grant_ref : int;
+}
+
+(** The driver's [copy_from_user] against a remote process. *)
+val copy_from_process : t -> request -> gva:int -> len:int -> bytes
+
+(** The driver's [copy_to_user] against a remote process. *)
+val copy_to_process : t -> request -> gva:int -> data:bytes -> unit
+
+(** Back one page of a process mapping: pick an unused guest-physical
+    page, point the EPT at [spa], fix the guest page table's last
+    level (the frontend prepared the others). *)
+val map_page_into_process :
+  t -> request -> gva:int -> spa:int -> perms:Memory.Perm.t -> unit
+
+(** Tear down a {!map_page_into_process} mapping. *)
+val unmap_page_from_process :
+  t -> target:Vm.t -> pt:Memory.Guest_pt.t -> gva:int -> unit
+
+val mapped_via_hypervisor : t -> target:Vm.t -> pt:Memory.Guest_pt.t -> gva:int -> bool

@@ -1,0 +1,48 @@
+(** Inter-VM interrupts (event channels).
+
+    A channel connects two endpoints; [send] delivers an interrupt to
+    the peer after the configured latency, invoking the handler the
+    peer registered.  The ~35 us of a no-op file operation round trip
+    in §6.1.1 is dominated by two such deliveries, so the latency here
+    is the single most important constant of the performance model. *)
+
+type endpoint = { mutable handler : (unit -> unit) option; mutable pending : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  latency_us : float;
+  a : endpoint;
+  b : endpoint;
+  mutable sent : int;
+}
+
+type side = A | B
+
+let create engine ~latency_us =
+  {
+    engine;
+    latency_us;
+    a = { handler = None; pending = 0 };
+    b = { handler = None; pending = 0 };
+    sent = 0;
+  }
+
+let endpoint t = function A -> t.a | B -> t.b
+let peer = function A -> B | B -> A
+
+(** Register the interrupt handler for one side.  The handler runs in
+    engine-callback context: it should be short (top half) and wake a
+    process for real work (bottom half), like a real ISR. *)
+let bind t side handler = (endpoint t side).handler <- Some handler
+
+(** Raise an interrupt towards the peer of [side]. *)
+let send t ~from =
+  t.sent <- t.sent + 1;
+  let target = endpoint t (peer from) in
+  target.pending <- target.pending + 1;
+  Sim.Engine.at t.engine ~delay:t.latency_us (fun () ->
+      target.pending <- target.pending - 1;
+      match target.handler with Some h -> h () | None -> ())
+
+let sent_count t = t.sent
+let latency_us t = t.latency_us

@@ -1,0 +1,18 @@
+(** Inter-VM interrupts (event channels).  Delivery latency dominates
+    the no-op forwarding cost of §6.1.1, making it the central
+    constant of the performance model. *)
+
+type t
+type side = A | B
+
+val create : Sim.Engine.t -> latency_us:float -> t
+
+(** Register one side's handler (runs in engine-callback context:
+    keep it short, wake a process for real work). *)
+val bind : t -> side -> (unit -> unit) -> unit
+
+(** Raise an interrupt towards the peer of [from]. *)
+val send : t -> from:side -> unit
+
+val sent_count : t -> int
+val latency_us : t -> float

@@ -1,0 +1,94 @@
+(** A physical page shared between VMs (and optionally the hypervisor).
+
+    The CVD frontend/backend communicate through such pages (§5.1): the
+    frontend serialises file-operation arguments into one, rings a
+    doorbell, and the backend deserialises on the other side.  Each
+    side accesses the page through its own EPT mapping, so permissions
+    apply — a shared page inside a protected region genuinely becomes
+    unreadable to the driver VM. *)
+
+type t = {
+  phys : Memory.Phys_mem.t;
+  spn : int;
+  mutable mappings : (int * int) list; (* vm id, gpa *)
+}
+
+type view = {
+  read : offset:int -> len:int -> bytes;
+  write : offset:int -> bytes -> unit;
+  read_u32 : offset:int -> int;
+  write_u32 : offset:int -> int -> unit;
+  read_u64 : offset:int -> int64;
+  write_u64 : offset:int -> int64 -> unit;
+}
+
+let allocate phys =
+  let spn = Memory.Phys_mem.alloc_frame phys in
+  { phys; spn; mappings = [] }
+
+let spn t = t.spn
+
+(** Map the page into [vm] at a fresh guest-physical address. *)
+let map_into t vm ~perms =
+  let gpa = Memory.Allocator.reserve_unused vm.Vm.gpa_alloc in
+  Memory.Ept.map vm.Vm.ept ~gpa ~spa:(Memory.Addr.of_pfn t.spn) ~perms;
+  t.mappings <- (vm.Vm.id, gpa) :: t.mappings;
+  gpa
+
+let check_bounds ~offset ~len =
+  if offset < 0 || len < 0 || offset + len > Memory.Addr.page_size then
+    invalid_arg "Shared_page: access outside page"
+
+(** A [view] for a VM that has the page mapped: every access performs
+    the EPT-checked CPU access of that VM. *)
+let view_of t vm =
+  let gpa =
+    match List.assoc_opt vm.Vm.id t.mappings with
+    | Some gpa -> gpa
+    | None -> invalid_arg "Shared_page.view_of: not mapped in this VM"
+  in
+  let read ~offset ~len =
+    check_bounds ~offset ~len;
+    Vm.read_gpa vm ~gpa:(gpa + offset) ~len
+  and write ~offset data =
+    check_bounds ~offset ~len:(Bytes.length data);
+    Vm.write_gpa vm ~gpa:(gpa + offset) data
+  in
+  {
+    read;
+    write;
+    read_u32 =
+      (fun ~offset ->
+        Int32.to_int (Bytes.get_int32_le (read ~offset ~len:4) 0) land 0xffffffff);
+    write_u32 =
+      (fun ~offset v ->
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 (Int32.of_int v);
+        write ~offset b);
+    read_u64 = (fun ~offset -> Bytes.get_int64_le (read ~offset ~len:8) 0);
+    write_u64 =
+      (fun ~offset v ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 v;
+        write ~offset b);
+  }
+
+(** The hypervisor's own view bypasses EPTs: it addresses the frame
+    directly (it is the hypervisor's memory, after all). *)
+let hypervisor_view t =
+  let base = Memory.Addr.of_pfn t.spn in
+  let read ~offset ~len =
+    check_bounds ~offset ~len;
+    Memory.Phys_mem.read t.phys ~spa:(base + offset) ~len
+  and write ~offset data =
+    check_bounds ~offset ~len:(Bytes.length data);
+    Memory.Phys_mem.write t.phys ~spa:(base + offset) data
+  in
+  {
+    read;
+    write;
+    read_u32 = (fun ~offset -> Memory.Phys_mem.read_u32 t.phys ~spa:(base + offset));
+    write_u32 = (fun ~offset v -> Memory.Phys_mem.write_u32 t.phys ~spa:(base + offset) v);
+    read_u64 = (fun ~offset -> Memory.Phys_mem.read_u64 t.phys ~spa:(base + offset));
+    write_u64 = (fun ~offset v -> Memory.Phys_mem.write_u64 t.phys ~spa:(base + offset) v);
+  }

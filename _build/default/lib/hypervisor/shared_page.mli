@@ -1,0 +1,26 @@
+(** A physical page shared between VMs (the CVD transport medium,
+    §5.1).  Each VM accesses it through its own EPT mapping, so
+    permissions apply for real. *)
+
+type t
+
+type view = {
+  read : offset:int -> len:int -> bytes;
+  write : offset:int -> bytes -> unit;
+  read_u32 : offset:int -> int;
+  write_u32 : offset:int -> int -> unit;
+  read_u64 : offset:int -> int64;
+  write_u64 : offset:int -> int64 -> unit;
+}
+
+val allocate : Memory.Phys_mem.t -> t
+val spn : t -> int
+
+(** Map into [vm] at a fresh guest-physical address (returned). *)
+val map_into : t -> Vm.t -> perms:Memory.Perm.t -> int
+
+(** EPT-checked accessors for a VM that has the page mapped. *)
+val view_of : t -> Vm.t -> view
+
+(** The hypervisor's own view bypasses EPTs. *)
+val hypervisor_view : t -> view

@@ -1,0 +1,96 @@
+(** A virtual machine, as the hypervisor sees it.
+
+    A VM owns an EPT (maintained by the hypervisor), a guest-physical
+    address-space allocator (what the guest kernel believes is its RAM)
+    and, for a driver VM, the set of devices assigned to it.  The
+    guest kernel itself lives in [lib/oskit] and is attached by the
+    machine assembly code; the hypervisor never depends on it. *)
+
+type kind = Guest | Driver
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  phys : Memory.Phys_mem.t;
+  ept : Memory.Ept.t;
+  gpa_alloc : Memory.Allocator.t;
+  mem_bytes : int;
+  mutable grant_frame : int option; (* spn of the registered grant table *)
+}
+
+let id t = t.id
+let name t = t.name
+let kind t = t.kind
+let ept t = t.ept
+let phys t = t.phys
+
+(** CPU access to guest-physical memory from inside the VM: the
+    hardware walks the EPT with permission checks, so reads of
+    protected-region pages raise {!Memory.Fault.Ept_violation} exactly
+    as §4.2 requires. *)
+let read_gpa t ~gpa ~len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  List.iter
+    (fun (addr, chunk) ->
+      let spa = Memory.Ept.translate t.ept ~gpa:addr ~access:Memory.Perm.Read in
+      Bytes.blit (Memory.Phys_mem.read t.phys ~spa ~len:chunk) 0 out !pos chunk;
+      pos := !pos + chunk)
+    (Memory.Addr.page_chunks ~addr:gpa ~len);
+  out
+
+let write_gpa t ~gpa data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  List.iter
+    (fun (addr, chunk) ->
+      let spa = Memory.Ept.translate t.ept ~gpa:addr ~access:Memory.Perm.Write in
+      Memory.Phys_mem.write t.phys ~spa (Bytes.sub data !pos chunk);
+      pos := !pos + chunk)
+    (Memory.Addr.page_chunks ~addr:gpa ~len)
+
+(** Access through a process's guest page table: two-level translation
+    (guest PT then EPT), the path every simulated application load and
+    store takes. *)
+let read_gva t ~pt ~gva ~len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  List.iter
+    (fun (addr, chunk) ->
+      let gpa = Memory.Guest_pt.translate pt ~gva:addr ~access:Memory.Perm.Read in
+      Bytes.blit (read_gpa t ~gpa ~len:chunk) 0 out !pos chunk;
+      pos := !pos + chunk)
+    (Memory.Addr.page_chunks ~addr:gva ~len);
+  out
+
+let write_gva t ~pt ~gva data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  List.iter
+    (fun (addr, chunk) ->
+      let gpa = Memory.Guest_pt.translate pt ~gva:addr ~access:Memory.Perm.Write in
+      write_gpa t ~gpa (Bytes.sub data !pos chunk);
+      pos := !pos + chunk)
+    (Memory.Addr.page_chunks ~addr:gva ~len)
+
+let read_gva_u32 t ~pt ~gva =
+  Int32.to_int (Bytes.get_int32_le (read_gva t ~pt ~gva ~len:4) 0) land 0xffffffff
+
+let write_gva_u32 t ~pt ~gva v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  write_gva t ~pt ~gva b
+
+let read_gva_u64 t ~pt ~gva = Bytes.get_int64_le (read_gva t ~pt ~gva ~len:8) 0
+
+let write_gva_u64 t ~pt ~gva v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write_gva t ~pt ~gva b
+
+(** Allocate a fresh page of guest-"RAM": takes a guest-physical page
+    from the VM's allocator; it is already EPT-backed (the hypervisor
+    populated the VM's whole RAM at boot). *)
+let alloc_gpa_page t = Memory.Allocator.alloc_page t.gpa_alloc
+let free_gpa_page t gpa = Memory.Allocator.free_page t.gpa_alloc gpa

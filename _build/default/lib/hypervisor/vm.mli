@@ -1,0 +1,43 @@
+(** A virtual machine as the hypervisor sees it: an EPT, a
+    guest-physical allocator and an identity.  CPU memory accesses
+    from inside the VM go through the EPT with permission checks, so
+    protected-region reads fault exactly as §4.2 requires. *)
+
+type kind = Guest | Driver
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  phys : Memory.Phys_mem.t;
+  ept : Memory.Ept.t;
+  gpa_alloc : Memory.Allocator.t;
+  mem_bytes : int;
+  mutable grant_frame : int option;
+}
+
+val id : t -> int
+val name : t -> string
+val kind : t -> kind
+val ept : t -> Memory.Ept.t
+val phys : t -> Memory.Phys_mem.t
+
+(** CPU access to guest-physical memory (EPT-checked). *)
+val read_gpa : t -> gpa:int -> len:int -> bytes
+
+val write_gpa : t -> gpa:int -> bytes -> unit
+
+(** Two-level access through a process page table then the EPT — the
+    path every simulated application load/store takes. *)
+val read_gva : t -> pt:Memory.Guest_pt.t -> gva:int -> len:int -> bytes
+
+val write_gva : t -> pt:Memory.Guest_pt.t -> gva:int -> bytes -> unit
+val read_gva_u32 : t -> pt:Memory.Guest_pt.t -> gva:int -> int
+val write_gva_u32 : t -> pt:Memory.Guest_pt.t -> gva:int -> int -> unit
+val read_gva_u64 : t -> pt:Memory.Guest_pt.t -> gva:int -> int64
+val write_gva_u64 : t -> pt:Memory.Guest_pt.t -> gva:int -> int64 -> unit
+
+(** Guest-"RAM" page management (EPT-backed at VM creation). *)
+val alloc_gpa_page : t -> int
+
+val free_gpa_page : t -> int -> unit

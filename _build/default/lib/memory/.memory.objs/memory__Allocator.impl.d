@@ -1,0 +1,1 @@
+lib/memory/allocator.ml: Addr Hashtbl

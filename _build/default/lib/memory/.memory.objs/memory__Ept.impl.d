@@ -1,0 +1,1 @@
+lib/memory/ept.ml: Addr Fault List Option Perm Radix_table

@@ -1,0 +1,1 @@
+lib/memory/guest_pt.ml: Addr Fault List Perm Printf Radix_table

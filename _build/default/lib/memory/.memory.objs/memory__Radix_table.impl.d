@@ -1,0 +1,1 @@
+lib/memory/radix_table.ml: Array List Perm

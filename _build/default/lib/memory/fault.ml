@@ -1,0 +1,54 @@
+(** Memory faults.
+
+    Faults are exceptions: the simulated hardware raises them and the
+    layer that would handle them in a real machine (guest kernel page
+    fault handler, hypervisor EPT-violation handler, IOMMU fault
+    report) catches them. *)
+
+type space = Guest_virtual | Guest_physical | System_physical | Dma
+
+type info = {
+  space : space;
+  addr : int;
+  access : Perm.access;
+  reason : string;
+}
+
+exception Page_fault of info
+(** Raised by guest page-table walks: missing or under-privileged
+    mapping for a guest virtual address. *)
+
+exception Ept_violation of info
+(** Raised by EPT walks: the VM touched guest-physical memory it has no
+    (or insufficient) mapping for — including protected-region pages
+    whose read permission the hypervisor removed (§4.2). *)
+
+exception Iommu_fault of info
+(** Raised when a device DMAs through an address its IOMMU domain does
+    not map, or with insufficient permission. *)
+
+exception Bus_error of info
+(** Raised for accesses outside any populated system-physical frame, or
+    device-memory accesses blocked by the memory controller bounds. *)
+
+let pp_space ppf = function
+  | Guest_virtual -> Fmt.string ppf "gva"
+  | Guest_physical -> Fmt.string ppf "gpa"
+  | System_physical -> Fmt.string ppf "spa"
+  | Dma -> Fmt.string ppf "dma"
+
+let pp_info ppf { space; addr; access; reason } =
+  Fmt.pf ppf "%a fault at %a on %a: %s" pp_space space Addr.pp_hex addr
+    Perm.pp_access access reason
+
+let page_fault ~space ~addr ~access reason =
+  raise (Page_fault { space; addr; access; reason })
+
+let ept_violation ~addr ~access reason =
+  raise (Ept_violation { space = Guest_physical; addr; access; reason })
+
+let iommu_fault ~addr ~access reason =
+  raise (Iommu_fault { space = Dma; addr; access; reason })
+
+let bus_error ~addr ~access reason =
+  raise (Bus_error { space = System_physical; addr; access; reason })

@@ -1,0 +1,79 @@
+(** Guest page tables: guest virtual → guest physical.
+
+    Modelled after 32-bit x86 with PAE, the architecture of the paper's
+    prototype (§5): three levels of 2/9/9 index bits over 4 KiB pages.
+    One instance exists per process address space; the guest kernel
+    maintains it, and the hypervisor walks it in software when
+    executing memory operations on behalf of the driver VM (§5.2). *)
+
+type t = { id : int; table : Radix_table.t }
+
+let widths = [ 2; 9; 9 ] (* PAE: PDPT / PD / PT *)
+
+(* 2+9+9 index bits + 12 offset = 32-bit virtual addresses. *)
+let max_va = (1 lsl 32) - 1
+
+(* Unique ids let the hypervisor key per-address-space state (its mmap
+   registry) without structural comparison of whole tables. *)
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { id = !next_id; table = Radix_table.create ~widths }
+
+let id t = t.id
+
+let check_va va =
+  if va < 0 || va > max_va then
+    invalid_arg (Printf.sprintf "Guest_pt: va 0x%x outside 32-bit space" va)
+
+let map t ~gva ~gpa ~perms =
+  check_va gva;
+  if not (Addr.is_page_aligned gva && Addr.is_page_aligned gpa) then
+    invalid_arg "Guest_pt.map: unaligned";
+  Radix_table.map t.table ~vfn:(Addr.pfn gva) ~pfn:(Addr.pfn gpa) ~perms
+
+let unmap t ~gva =
+  check_va gva;
+  Radix_table.unmap t.table (Addr.pfn gva)
+
+(** Software walk used by both the guest MMU model and the hypervisor.
+    Returns the guest physical address, preserving the page offset. *)
+let translate t ~gva ~access =
+  check_va gva;
+  match Radix_table.walk t.table (Addr.pfn gva) with
+  | Radix_table.Mapped { target_pfn; perms } ->
+      if Perm.allows perms access then Addr.of_pfn target_pfn lor Addr.offset gva
+      else
+        Fault.page_fault ~space:Fault.Guest_virtual ~addr:gva ~access
+          "permission denied"
+  | Radix_table.Missing_level lvl ->
+      Fault.page_fault ~space:Fault.Guest_virtual ~addr:gva ~access
+        (Printf.sprintf "missing level-%d table" lvl)
+  | Radix_table.Not_present ->
+      Fault.page_fault ~space:Fault.Guest_virtual ~addr:gva ~access "not present"
+
+let translate_opt t ~gva ~access =
+  match translate t ~gva ~access with
+  | gpa -> Some gpa
+  | exception Fault.Page_fault _ -> None
+
+(** Pre-create intermediate levels for a virtual range, leaving the
+    leaf level untouched — performed by the CVD frontend before
+    forwarding an mmap so the hypervisor only ever fixes the last
+    level (§5.2). *)
+let prepare_range t ~gva ~len =
+  check_va gva;
+  List.iter
+    (fun (addr, _) -> Radix_table.ensure_intermediate t.table (Addr.pfn addr))
+    (Addr.page_chunks ~addr:gva ~len)
+
+let leaf_ready t ~gva = Radix_table.intermediate_present t.table (Addr.pfn gva)
+
+let mapped_count t = Radix_table.mapped_count t.table
+
+let iter t f =
+  Radix_table.iter t.table (fun vfn leaf ->
+      f ~gva:(Addr.of_pfn vfn)
+        ~gpa:(Addr.of_pfn leaf.Radix_table.target_pfn)
+        ~perms:leaf.Radix_table.perms)

@@ -1,0 +1,26 @@
+(** Guest page tables: guest virtual -> guest physical, 3 levels
+    (PAE-like, 32-bit virtual addresses), one per process. *)
+
+type t
+
+val create : unit -> t
+
+(** Unique id, used by the hypervisor to key per-address-space state. *)
+val id : t -> int
+
+val max_va : int
+val map : t -> gva:int -> gpa:int -> perms:Perm.t -> unit
+val unmap : t -> gva:int -> bool
+
+(** Software walk; raises {!Fault.Page_fault}. *)
+val translate : t -> gva:int -> access:Perm.access -> int
+
+val translate_opt : t -> gva:int -> access:Perm.access -> int option
+
+(** Pre-create intermediate levels for a range, leaving leaves to the
+    hypervisor (§5.2). *)
+val prepare_range : t -> gva:int -> len:int -> unit
+
+val leaf_ready : t -> gva:int -> bool
+val mapped_count : t -> int
+val iter : t -> (gva:int -> gpa:int -> perms:Perm.t -> unit) -> unit

@@ -1,0 +1,128 @@
+(** System physical memory.
+
+    Frames are allocated lazily: the store is a map from system frame
+    number (spn) to backing.  Two kinds of backing exist:
+    - [Ram]: an ordinary 4 KiB byte frame;
+    - [Mmio]: a device register page whose reads/writes are routed to
+      handler callbacks (the GPU register file, the NIC doorbells).
+
+    Contiguous ranges can be reserved for device apertures (a GPU's
+    VRAM BAR) so that device memory is system-physically addressable,
+    exactly like a PCI BAR on real hardware — this is what lets the
+    hypervisor cover device memory with EPT permissions in §4.2. *)
+
+type mmio_handler = {
+  mmio_read : offset:int -> len:int -> bytes;
+  mmio_write : offset:int -> bytes -> unit;
+}
+
+type backing =
+  | Ram of Bytes.t
+  | Unbacked (* allocated RAM, zero-filled, materialised on first use *)
+  | Mmio of mmio_handler
+
+type t = {
+  frames : (int, backing) Hashtbl.t;
+  mutable next_spn : int;
+}
+
+let create () = { frames = Hashtbl.create 4096; next_spn = 1 }
+(* spn 0 is never handed out: a zero address is always a bug. *)
+
+let mem_frame t spn = Hashtbl.mem t.frames spn
+
+(** Allocate [n] fresh contiguous RAM frames; returns the base spn.
+    Backing bytes are materialised lazily so multi-gigabyte VM RAM
+    costs nothing until touched. *)
+let alloc_frames t n =
+  if n <= 0 then invalid_arg "Phys_mem.alloc_frames";
+  let base = t.next_spn in
+  t.next_spn <- t.next_spn + n;
+  for i = 0 to n - 1 do
+    Hashtbl.replace t.frames (base + i) Unbacked
+  done;
+  base
+
+let alloc_frame t = alloc_frames t 1
+
+(** Install an MMIO page; returns its spn. *)
+let alloc_mmio t handler =
+  let spn = t.next_spn in
+  t.next_spn <- t.next_spn + 1;
+  Hashtbl.replace t.frames spn (Mmio handler);
+  spn
+
+let free_frame t spn = Hashtbl.remove t.frames spn
+
+let is_mmio t spn =
+  match Hashtbl.find_opt t.frames spn with
+  | Some (Mmio _) -> true
+  | Some (Ram _ | Unbacked) | None -> false
+
+let backing t ~spn ~access =
+  match Hashtbl.find_opt t.frames spn with
+  | Some Unbacked ->
+      let b = Ram (Bytes.make Addr.page_size '\000') in
+      Hashtbl.replace t.frames spn b;
+      b
+  | Some b -> b
+  | None ->
+      Fault.bus_error ~addr:(Addr.of_pfn spn) ~access "unpopulated frame"
+
+(** Read [len] bytes at system physical address [spa].  May cross frame
+    boundaries. *)
+let read t ~spa ~len =
+  if len < 0 then invalid_arg "Phys_mem.read: negative length";
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  List.iter
+    (fun (addr, chunk) ->
+      let spn = Addr.pfn addr and off = Addr.offset addr in
+      (match backing t ~spn ~access:Perm.Read with
+      | Ram frame -> Bytes.blit frame off out !pos chunk
+      | Unbacked -> assert false (* materialised by [backing] *)
+      | Mmio h -> Bytes.blit (h.mmio_read ~offset:off ~len:chunk) 0 out !pos chunk);
+      pos := !pos + chunk)
+    (Addr.page_chunks ~addr:spa ~len);
+  out
+
+(** Write [data] at system physical address [spa]. *)
+let write t ~spa data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  List.iter
+    (fun (addr, chunk) ->
+      let spn = Addr.pfn addr and off = Addr.offset addr in
+      (match backing t ~spn ~access:Perm.Write with
+      | Ram frame -> Bytes.blit data !pos frame off chunk
+      | Unbacked -> assert false (* materialised by [backing] *)
+      | Mmio h -> h.mmio_write ~offset:off (Bytes.sub data !pos chunk));
+      pos := !pos + chunk)
+    (Addr.page_chunks ~addr:spa ~len)
+
+let read_u8 t ~spa = Char.code (Bytes.get (read t ~spa ~len:1) 0)
+let write_u8 t ~spa v = write t ~spa (Bytes.make 1 (Char.chr (v land 0xff)))
+
+let read_u32 t ~spa = Int32.to_int (Bytes.get_int32_le (read t ~spa ~len:4) 0) land 0xffffffff
+
+let write_u32 t ~spa v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  write t ~spa b
+
+let read_u64 t ~spa = Bytes.get_int64_le (read t ~spa ~len:8) 0
+
+let write_u64 t ~spa v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t ~spa b
+
+(** Zero a whole frame — the hypervisor scrubs protected-region pages
+    before recycling them between guests (§5.3 change (i)). *)
+let zero_frame t spn =
+  match backing t ~spn ~access:Perm.Write with
+  | Ram frame -> Bytes.fill frame 0 Addr.page_size '\000'
+  | Unbacked -> assert false (* materialised by [backing] *)
+  | Mmio _ -> invalid_arg "Phys_mem.zero_frame: MMIO page"
+
+let frame_count t = Hashtbl.length t.frames

@@ -1,0 +1,41 @@
+(** System physical memory: lazily-backed 4 KiB RAM frames plus MMIO
+    pages routed to device register handlers. *)
+
+type mmio_handler = {
+  mmio_read : offset:int -> len:int -> bytes;
+  mmio_write : offset:int -> bytes -> unit;
+}
+
+type t
+
+val create : unit -> t
+val mem_frame : t -> int -> bool
+
+(** Allocate [n] fresh contiguous RAM frames; returns the base spn.
+    Backing bytes materialise on first access. *)
+val alloc_frames : t -> int -> int
+
+val alloc_frame : t -> int
+
+(** Install a device register page; returns its spn. *)
+val alloc_mmio : t -> mmio_handler -> int
+
+val free_frame : t -> int -> unit
+val is_mmio : t -> int -> bool
+
+(** Byte access at system physical addresses; may cross frames.
+    Raises {!Fault.Bus_error} on unpopulated frames. *)
+val read : t -> spa:int -> len:int -> bytes
+
+val write : t -> spa:int -> bytes -> unit
+val read_u8 : t -> spa:int -> int
+val write_u8 : t -> spa:int -> int -> unit
+val read_u32 : t -> spa:int -> int
+val write_u32 : t -> spa:int -> int -> unit
+val read_u64 : t -> spa:int -> int64
+val write_u64 : t -> spa:int -> int64 -> unit
+
+(** Scrub a frame to zero (protected-region recycling, §5.3). *)
+val zero_frame : t -> int -> unit
+
+val frame_count : t -> int

@@ -1,0 +1,161 @@
+(** Generic multi-level radix page table.
+
+    Both translation structures in the machine are instances of this
+    module: the guest page tables ({!Guest_pt}, 3 levels, PAE-like) and
+    the extended page tables ({!Ept}, 4 levels).  The hypervisor's
+    software page walks (§5.2), the CVD frontend's creation of "all
+    missing levels except the last one", and the EPT permission
+    stripping of §4.2 all operate on this structure, so it models
+    individual levels explicitly rather than being a flat map. *)
+
+type node = { entries : entry array }
+and entry = Empty | Table of node | Leaf of leaf
+and leaf = { target_pfn : int; perms : Perm.t }
+
+type t = {
+  widths : int list; (* bits consumed per level, root first *)
+  root : node;
+  mutable mapped : int;
+  mutable nodes : int;
+}
+
+let make_node width = { entries = Array.make (1 lsl width) Empty }
+
+let create ~widths =
+  (match widths with
+  | [] -> invalid_arg "Radix_table.create: no levels"
+  | w :: _ -> { widths; root = make_node w; mapped = 0; nodes = 1 })
+
+let levels t = List.length t.widths
+
+let mapped_count t = t.mapped
+let node_count t = t.nodes
+
+(* Split a virtual frame number into per-level indices, root first. *)
+let indices t vfn =
+  let total_bits = List.fold_left ( + ) 0 t.widths in
+  if vfn lsr total_bits <> 0 then
+    invalid_arg "Radix_table: frame number out of addressable range";
+  let rec go widths shift =
+    match widths with
+    | [] -> []
+    | w :: rest ->
+        let shift' = shift - w in
+        ((vfn lsr shift') land ((1 lsl w) - 1)) :: go rest shift'
+  in
+  go t.widths total_bits
+
+(** Outcome of a software walk, reported level by level so callers can
+    see exactly where translation stopped. *)
+type walk_result =
+  | Mapped of leaf
+  | Missing_level of int (* intermediate table absent at this depth, 0 = root *)
+  | Not_present (* all intermediate levels exist; final entry empty *)
+
+let walk t vfn =
+  let rec go node = function
+    | [] -> assert false
+    | [ idx ] ->
+        (match node.entries.(idx) with
+        | Leaf leaf -> Mapped leaf
+        | Empty -> Not_present
+        | Table _ -> invalid_arg "Radix_table.walk: table at leaf level")
+    | idx :: rest ->
+        (match node.entries.(idx) with
+        | Table next -> go next rest
+        | Empty ->
+            Missing_level (levels t - List.length rest - 1)
+        | Leaf _ -> invalid_arg "Radix_table.walk: leaf at interior level")
+  in
+  go t.root (indices t vfn)
+
+let lookup t vfn =
+  match walk t vfn with Mapped leaf -> Some leaf | Missing_level _ | Not_present -> None
+
+(** Create intermediate tables down to (but not including) the leaf
+    level — the CVD frontend does exactly this for mmap ranges before
+    forwarding, leaving the last level for the hypervisor (§5.2). *)
+let ensure_intermediate t vfn =
+  let rec descend node idxs widths =
+    match (idxs, widths) with
+    | [ _ ], _ -> ()
+    | idx :: rest_idx, _ :: (next_w :: _ as rest_w) ->
+        let next =
+          match node.entries.(idx) with
+          | Table n -> n
+          | Empty ->
+              let n = make_node next_w in
+              node.entries.(idx) <- Table n;
+              t.nodes <- t.nodes + 1;
+              n
+          | Leaf _ -> invalid_arg "Radix_table.ensure_intermediate: leaf at interior level"
+        in
+        descend next rest_idx rest_w
+    | _ -> assert false
+  in
+  descend t.root (indices t vfn) t.widths
+
+(** True iff every intermediate level for [vfn] already exists. *)
+let intermediate_present t vfn =
+  match walk t vfn with
+  | Mapped _ | Not_present -> true
+  | Missing_level _ -> false
+
+let map t ~vfn ~pfn ~perms =
+  ensure_intermediate t vfn;
+  let rec descend node = function
+    | [ idx ] ->
+        (match node.entries.(idx) with
+        | Empty -> t.mapped <- t.mapped + 1
+        | Leaf _ -> ()
+        | Table _ -> invalid_arg "Radix_table.map: table at leaf level");
+        node.entries.(idx) <- Leaf { target_pfn = pfn; perms }
+    | idx :: rest ->
+        (match node.entries.(idx) with
+        | Table next -> descend next rest
+        | Empty | Leaf _ -> assert false)
+    | [] -> assert false
+  in
+  descend t.root (indices t vfn)
+
+let unmap t vfn =
+  let rec descend node = function
+    | [ idx ] ->
+        (match node.entries.(idx) with
+        | Leaf _ ->
+            node.entries.(idx) <- Empty;
+            t.mapped <- t.mapped - 1;
+            true
+        | Empty -> false
+        | Table _ -> invalid_arg "Radix_table.unmap: table at leaf level")
+    | idx :: rest ->
+        (match node.entries.(idx) with
+        | Table next -> descend next rest
+        | Empty -> false
+        | Leaf _ -> assert false)
+    | [] -> assert false
+  in
+  descend t.root (indices t vfn)
+
+(** Replace the permissions of an existing mapping.  Raises
+    [Not_found] when [vfn] is unmapped: permission surgery on absent
+    entries would silently mask bugs in the isolation code. *)
+let set_perms t ~vfn ~perms =
+  match walk t vfn with
+  | Mapped leaf -> map t ~vfn ~pfn:leaf.target_pfn ~perms
+  | Missing_level _ | Not_present -> raise Not_found
+
+let iter t f =
+  (* Depth-first, reconstructing each vfn from the index path. *)
+  let widths = Array.of_list t.widths in
+  let rec go node depth acc =
+    Array.iteri
+      (fun idx entry ->
+        let acc = (acc lsl widths.(depth)) lor idx in
+        match entry with
+        | Empty -> ()
+        | Table next -> go next (depth + 1) acc
+        | Leaf leaf -> f acc leaf)
+      node.entries
+  in
+  go t.root 0 0

@@ -1,0 +1,1 @@
+lib/oskit/defs.ml: Errno Hashtbl Hypervisor Memory Os_flavor Wait_queue

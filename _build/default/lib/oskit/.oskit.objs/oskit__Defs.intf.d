@@ -1,0 +1,1 @@
+lib/oskit/defs.mli: Hashtbl Hypervisor Memory Os_flavor Wait_queue

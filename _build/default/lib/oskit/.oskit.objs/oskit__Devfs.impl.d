@@ -1,0 +1,1 @@
+lib/oskit/devfs.ml: Defs Hashtbl List

@@ -1,0 +1,1 @@
+lib/oskit/devfs.mli: Defs

@@ -1,0 +1,1 @@
+lib/oskit/errno.ml: Fmt

@@ -1,0 +1,1 @@
+lib/oskit/errno.mli: Format

@@ -1,0 +1,1 @@
+lib/oskit/ioctl_num.ml: Char Fmt

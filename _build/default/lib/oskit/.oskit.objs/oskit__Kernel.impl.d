@@ -1,0 +1,1 @@
+lib/oskit/kernel.ml: Defs Devfs Hypervisor Os_flavor Sim Task

@@ -1,0 +1,1 @@
+lib/oskit/kernel.mli: Defs Devfs Hypervisor Os_flavor Sim

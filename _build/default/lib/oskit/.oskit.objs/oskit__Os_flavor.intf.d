@@ -1,0 +1,1 @@
+lib/oskit/os_flavor.mli:

@@ -1,0 +1,1 @@
+lib/oskit/task.ml: Defs Hashtbl Hypervisor Memory

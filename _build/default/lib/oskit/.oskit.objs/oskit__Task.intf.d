@@ -1,0 +1,1 @@
+lib/oskit/task.mli: Defs Hypervisor

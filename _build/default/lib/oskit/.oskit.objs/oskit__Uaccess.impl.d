@@ -1,0 +1,1 @@
+lib/oskit/uaccess.ml: Bytes Defs Errno Hypervisor Int32 Memory

@@ -1,0 +1,1 @@
+lib/oskit/uaccess.mli: Defs Memory

@@ -1,0 +1,1 @@
+lib/oskit/vfs.ml: Defs Devfs Errno Hashtbl Kernel List Memory Sim Stdlib Task Wait_queue

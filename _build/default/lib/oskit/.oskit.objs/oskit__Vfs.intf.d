@@ -1,0 +1,1 @@
+lib/oskit/vfs.mli: Defs Errno Kernel Stdlib

@@ -1,0 +1,1 @@
+lib/oskit/wait_queue.mli: Sim

@@ -1,0 +1,69 @@
+(** Unix error codes, as drivers and the VFS report them.
+
+    The subset device drivers actually return; values match Linux so
+    the CVD can encode failures as negative integers on the wire, just
+    like the real syscall ABI. *)
+
+type t =
+  | EPERM
+  | EIO
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | ENODEV
+  | EINVAL
+  | ENOTTY
+  | ENOSPC
+  | EOVERFLOW
+
+exception Unix_error of t * string
+(** Raised by driver handlers; caught at the VFS boundary. *)
+
+let to_code = function
+  | EPERM -> 1
+  | EIO -> 5
+  | EAGAIN -> 11
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EBUSY -> 16
+  | ENODEV -> 19
+  | EINVAL -> 22
+  | ENOTTY -> 25
+  | ENOSPC -> 28
+  | EOVERFLOW -> 75
+
+let of_code = function
+  | 1 -> Some EPERM
+  | 5 -> Some EIO
+  | 11 -> Some EAGAIN
+  | 12 -> Some ENOMEM
+  | 13 -> Some EACCES
+  | 14 -> Some EFAULT
+  | 16 -> Some EBUSY
+  | 19 -> Some ENODEV
+  | 22 -> Some EINVAL
+  | 25 -> Some ENOTTY
+  | 28 -> Some ENOSPC
+  | 75 -> Some EOVERFLOW
+  | _ -> None
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | EIO -> "EIO"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EBUSY -> "EBUSY"
+  | ENODEV -> "ENODEV"
+  | EINVAL -> "EINVAL"
+  | ENOTTY -> "ENOTTY"
+  | ENOSPC -> "ENOSPC"
+  | EOVERFLOW -> "EOVERFLOW"
+
+let fail errno msg = raise (Unix_error (errno, msg))
+
+let pp ppf t = Fmt.string ppf (to_string t)

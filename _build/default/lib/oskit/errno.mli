@@ -1,0 +1,25 @@
+(** Unix error codes as drivers and the VFS report them; values match
+    Linux so the CVD can encode failures as negative integers. *)
+
+type t =
+  | EPERM
+  | EIO
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | ENODEV
+  | EINVAL
+  | ENOTTY
+  | ENOSPC
+  | EOVERFLOW
+
+exception Unix_error of t * string
+(** Raised by driver handlers; caught at the VFS boundary. *)
+
+val to_code : t -> int
+val of_code : int -> t option
+val to_string : t -> string
+val fail : t -> string -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** ioctl command-number encoding (the _IO/_IOR/_IOW/_IOWR macros).
+
+    Drivers build command numbers with these OS-provided macros, which
+    embed the direction and size of the command's data structure.  The
+    CVD frontend exploits exactly this to identify the memory
+    operations of most ioctls without any driver knowledge (§4.1).
+    Encoding follows Linux asm-generic/ioctl.h:
+    {v dir(2) | size(14) | type(8) | nr(8) v} *)
+
+type direction = None_ | Write (* user -> kernel *) | Read (* kernel -> user *) | Read_write
+
+let nr_bits = 8
+let type_bits = 8
+let size_bits = 14
+
+let nr_shift = 0
+let type_shift = nr_shift + nr_bits
+let size_shift = type_shift + type_bits
+let dir_shift = size_shift + size_bits
+
+let dir_code = function None_ -> 0 | Write -> 1 | Read -> 2 | Read_write -> 3
+
+let dir_of_code = function
+  | 0 -> None_
+  | 1 -> Write
+  | 2 -> Read
+  | 3 -> Read_write
+  | _ -> assert false
+
+let ioc ~dir ~typ ~nr ~size =
+  if size < 0 || size >= 1 lsl size_bits then invalid_arg "Ioctl_num: size too large";
+  if nr < 0 || nr >= 1 lsl nr_bits then invalid_arg "Ioctl_num: bad nr";
+  (dir_code dir lsl dir_shift)
+  lor (size lsl size_shift)
+  lor (Char.code typ lsl type_shift)
+  lor (nr lsl nr_shift)
+
+let io ~typ ~nr = ioc ~dir:None_ ~typ ~nr ~size:0
+let ior ~typ ~nr ~size = ioc ~dir:Read ~typ ~nr ~size
+let iow ~typ ~nr ~size = ioc ~dir:Write ~typ ~nr ~size
+let iowr ~typ ~nr ~size = ioc ~dir:Read_write ~typ ~nr ~size
+
+let dir cmd = dir_of_code ((cmd lsr dir_shift) land 3)
+let size cmd = (cmd lsr size_shift) land ((1 lsl size_bits) - 1)
+let typ cmd = Char.chr ((cmd lsr type_shift) land 0xff)
+let nr cmd = (cmd lsr nr_shift) land 0xff
+
+let pp ppf cmd =
+  let d =
+    match dir cmd with
+    | None_ -> "_IO"
+    | Write -> "_IOW"
+    | Read -> "_IOR"
+    | Read_write -> "_IOWR"
+  in
+  Fmt.pf ppf "%s('%c', %d, %d)" d (typ cmd) (nr cmd) (size cmd)

@@ -1,0 +1,17 @@
+(** ioctl command-number encoding (the _IO/_IOR/_IOW/_IOWR macros):
+    direction and payload size embedded in the number, which is what
+    lets the CVD frontend derive most ioctls' memory operations with
+    no driver knowledge (§4.1). *)
+
+type direction = None_ | Write | Read | Read_write
+
+val ioc : dir:direction -> typ:char -> nr:int -> size:int -> int
+val io : typ:char -> nr:int -> int
+val ior : typ:char -> nr:int -> size:int -> int
+val iow : typ:char -> nr:int -> size:int -> int
+val iowr : typ:char -> nr:int -> size:int -> int
+val dir : int -> direction
+val size : int -> int
+val typ : int -> char
+val nr : int -> int
+val pp : Format.formatter -> int -> unit

@@ -1,0 +1,40 @@
+(** A simulated Unix-like kernel instance (one per VM). *)
+
+type costs = {
+  syscall_us : float; (* user/kernel crossing *)
+  context_switch_us : float;
+}
+
+let zero_costs = { syscall_us = 0.; context_switch_us = 0. }
+
+(** Calibrated so a native no-op file operation costs well under a
+    microsecond, matching the paper's native baselines. *)
+let default_costs = { syscall_us = 0.3; context_switch_us = 1.2 }
+
+type t = {
+  engine : Sim.Engine.t;
+  vm : Hypervisor.Vm.t;
+  flavor : Os_flavor.t;
+  devfs : Devfs.t;
+  costs : costs;
+  mutable tasks : Defs.task list;
+}
+
+let create ~engine ~vm ~flavor ?(costs = default_costs) () =
+  { engine; vm; flavor; devfs = Devfs.create (); costs; tasks = [] }
+
+let engine t = t.engine
+let vm t = t.vm
+let flavor t = t.flavor
+let devfs t = t.devfs
+
+let spawn_task t ~name =
+  let task = Task.create ~name ~vm:t.vm in
+  t.tasks <- task :: t.tasks;
+  task
+
+(** Charge simulated time; a no-op under zero costs so purely
+    functional tests can run outside the engine. *)
+let charge _t amount = if amount > 0. then Sim.Engine.wait amount
+
+let charge_syscall t = charge t t.costs.syscall_us

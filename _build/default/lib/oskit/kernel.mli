@@ -1,0 +1,28 @@
+(** A simulated Unix-like kernel instance (one per VM). *)
+
+type costs = { syscall_us : float; context_switch_us : float }
+
+val zero_costs : costs
+val default_costs : costs
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  vm:Hypervisor.Vm.t ->
+  flavor:Os_flavor.t ->
+  ?costs:costs ->
+  unit ->
+  t
+
+val engine : t -> Sim.Engine.t
+val vm : t -> Hypervisor.Vm.t
+val flavor : t -> Os_flavor.t
+val devfs : t -> Devfs.t
+val spawn_task : t -> name:string -> Defs.task
+
+(** Charge simulated time (no-op when zero, so functional tests can
+    run outside the engine). *)
+val charge : t -> float -> unit
+
+val charge_syscall : t -> unit

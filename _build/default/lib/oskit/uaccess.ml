@@ -1,0 +1,146 @@
+(** User-memory access for drivers — with the wrapper stubs of §5.2.
+
+    Drivers call [copy_from_user] / [copy_to_user] / [insert_pfn] as
+    they would in Linux.  When the calling thread is {e marked} (the
+    CVD backend set [task.remote] before invoking the driver on behalf
+    of a guest process), the operation is redirected to the hypervisor
+    memory-operation API and validated against the guest's grant
+    table; otherwise it acts on the local process.  Device drivers are
+    therefore {b unmodified} with respect to virtualization. *)
+
+open Defs
+
+let fault_of_rejection msg = Errno.fail Errno.EFAULT msg
+
+(** Optional observation hook: records every user-memory operation a
+    driver performs.  The analyzer's tests use it to check that the
+    statically-extracted operation lists match what the driver really
+    does, and tracing tools can log with it. *)
+type recorded_op =
+  | Rec_copy_from of { uaddr : int; len : int }
+  | Rec_copy_to of { uaddr : int; len : int }
+  | Rec_insert_pfn of { gva : int }
+
+let recorder : (recorded_op -> unit) option ref = ref None
+
+let with_recorder f body =
+  let saved = !recorder in
+  recorder := Some f;
+  match body () with
+  | v ->
+      recorder := saved;
+      v
+  | exception exn ->
+      recorder := saved;
+      raise exn
+
+let record op = match !recorder with Some f -> f op | None -> ()
+
+(** Driver reads [len] bytes from the current process at [uaddr]. *)
+let copy_from_user task ~uaddr ~len =
+  record (Rec_copy_from { uaddr; len });
+  match task.remote with
+  | None -> (
+      try Hypervisor.Vm.read_gva task.vm ~pt:task.pt ~gva:uaddr ~len
+      with Memory.Fault.Page_fault _ -> Errno.fail Errno.EFAULT "bad user pointer")
+  | Some rc -> (
+      rc.rc_charge 1.;
+      let req =
+        {
+          Hypervisor.Hyp.caller = task.vm;
+          target = rc.rc_target;
+          pt = rc.rc_pt;
+          grant_ref = rc.rc_grant;
+        }
+      in
+      try Hypervisor.Hyp.copy_from_process rc.rc_hyp req ~gva:uaddr ~len
+      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+
+(** Driver writes [data] into the current process at [uaddr]. *)
+let copy_to_user task ~uaddr data =
+  record (Rec_copy_to { uaddr; len = Bytes.length data });
+  match task.remote with
+  | None -> (
+      try Hypervisor.Vm.write_gva task.vm ~pt:task.pt ~gva:uaddr data
+      with Memory.Fault.Page_fault _ -> Errno.fail Errno.EFAULT "bad user pointer")
+  | Some rc -> (
+      rc.rc_charge 1.;
+      let req =
+        {
+          Hypervisor.Hyp.caller = task.vm;
+          target = rc.rc_target;
+          pt = rc.rc_pt;
+          grant_ref = rc.rc_grant;
+        }
+      in
+      try Hypervisor.Hyp.copy_to_process rc.rc_hyp req ~gva:uaddr ~data
+      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+
+let copy_from_user_u32 task ~uaddr =
+  Int32.to_int (Bytes.get_int32_le (copy_from_user task ~uaddr ~len:4) 0)
+  land 0xffffffff
+
+let copy_to_user_u32 task ~uaddr v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  copy_to_user task ~uaddr b
+
+let copy_from_user_u64 task ~uaddr =
+  Bytes.get_int64_le (copy_from_user task ~uaddr ~len:8) 0
+
+let copy_to_user_u64 task ~uaddr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  copy_to_user task ~uaddr b
+
+(** Map one page of (driver-VM-addressed) memory into the current
+    process at [gva] — the [vm_insert_pfn] analogue, used by mmap and
+    fault handlers.  [page_gpa] is the page's address as the driver
+    sees it (its VM's guest-physical space). *)
+let insert_pfn task ~gva ~page_gpa ~perms =
+  record (Rec_insert_pfn { gva });
+  if not (Memory.Addr.is_page_aligned gva && Memory.Addr.is_page_aligned page_gpa)
+  then Errno.fail Errno.EINVAL "insert_pfn: unaligned";
+  match task.remote with
+  | None ->
+      (* Local process: point its page table at the existing
+         guest-physical page. *)
+      Memory.Guest_pt.map task.pt ~gva ~gpa:page_gpa ~perms
+  | Some rc -> (
+      rc.rc_charge 1.;
+      (* Resolve the driver's view of the page to a system-physical
+         frame, then ask the hypervisor to wire it into the guest. *)
+      match Memory.Ept.lookup (Hypervisor.Vm.ept task.vm) ~gpa:page_gpa with
+      | None -> Errno.fail Errno.EFAULT "insert_pfn: page not present in driver VM"
+      | Some (spa, _) -> (
+          let req =
+            {
+              Hypervisor.Hyp.caller = task.vm;
+              target = rc.rc_target;
+              pt = rc.rc_pt;
+              grant_ref = rc.rc_grant;
+            }
+          in
+          try Hypervisor.Hyp.map_page_into_process rc.rc_hyp req ~gva ~spa ~perms
+          with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg))
+
+(** Remove a process mapping previously created with {!insert_pfn}. *)
+let remove_pfn task ~gva =
+  match task.remote with
+  | None -> ignore (Memory.Guest_pt.unmap task.pt ~gva)
+  | Some rc -> (
+      rc.rc_charge 1.;
+      try
+        Hypervisor.Hyp.unmap_page_from_process rc.rc_hyp ~target:rc.rc_target
+          ~pt:rc.rc_pt ~gva
+      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+
+(** Number of kernel entry points the wrapper stubs intercept; the
+    paper modified 13 Linux functions (§5.2).  Listed for the code
+    inventory (Table 2 analogue). *)
+let wrapped_kernel_functions =
+  [
+    "copy_from_user"; "copy_to_user"; "__copy_from_user"; "__copy_to_user";
+    "get_user"; "put_user"; "clear_user"; "strncpy_from_user"; "strnlen_user";
+    "vm_insert_pfn"; "remap_pfn_range"; "zap_vma_ptes"; "io_remap_pfn_range";
+  ]

@@ -1,0 +1,1 @@
+lib/sim/timeunit.ml: Float Fmt

@@ -1,0 +1,64 @@
+(** Unbounded FIFO message channel between simulated processes.
+
+    [send] never blocks; [recv] blocks until a message is available.
+    Wake order is FIFO over blocked receivers, matching a kernel wait
+    queue's default behaviour. *)
+
+type 'a t = {
+  engine : Engine.t;
+  items : 'a Queue.t;
+  waiters : ('a option -> unit) Queue.t;
+}
+
+let create engine = { engine; items = Queue.create (); waiters = Queue.create () }
+
+let length t = Queue.length t.items
+
+let send t v =
+  match Queue.take_opt t.waiters with
+  | Some waker -> waker (Some v)
+  | None -> Queue.add v t.items
+
+let recv t : 'a =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None ->
+      (match Engine.suspend (fun waker -> Queue.add waker t.waiters) with
+      | Some v -> v
+      | None -> assert false)
+
+(** [recv_timeout t ~timeout] is [None] when no message arrives within
+    [timeout].  A timed-out waiter is left disarmed in the queue and
+    skipped by later sends. *)
+let recv_timeout t ~timeout : 'a option =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+      let cell = ref `Waiting in
+      let result =
+        Engine.suspend_timeout t.engine ~timeout (fun waker ->
+            Queue.add
+              (fun v ->
+                match (!cell, v) with
+                | `Waiting, Some v ->
+                    cell := `Taken;
+                    waker (Some v)
+                | `Waiting, None -> ()
+                | `Dead, Some v ->
+                    (* Message delivered to a timed-out waiter:
+                       re-dispatch so a live waiter behind us in the
+                       queue is not starved with an item pending. *)
+                    send t v
+                | _ -> ())
+              t.waiters)
+      in
+      (match result with
+      | Some v -> Some v
+      | None ->
+          (* Timed out: mark the waiter dead so a later send requeues
+             its message instead of losing it. *)
+          if !cell = `Waiting then cell := `Dead;
+          None)
+
+let peek t = Queue.peek_opt t.items
+let is_empty t = Queue.is_empty t.items

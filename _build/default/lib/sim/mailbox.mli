@@ -1,0 +1,24 @@
+(** Unbounded FIFO message channel between simulated processes.
+
+    [send] never blocks; [recv] blocks until a message is available.
+    Blocked receivers are woken in FIFO order. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val peek : 'a t -> 'a option
+
+(** Deliver a message: to the longest-waiting receiver if any, else
+    into the buffer.  Callable from engine callbacks. *)
+val send : 'a t -> 'a -> unit
+
+(** Take the next message, blocking the calling process if none is
+    buffered. *)
+val recv : 'a t -> 'a
+
+(** Like {!recv} but gives up after [timeout] microseconds.  A message
+    arriving later is never lost: it is re-dispatched to live
+    receivers or buffered. *)
+val recv_timeout : 'a t -> timeout:float -> 'a option

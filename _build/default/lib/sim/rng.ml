@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The simulation must be reproducible run-to-run: every stochastic
+    choice (inter-arrival jitter, workload variation) draws from an
+    explicitly-seeded generator instead of [Stdlib.Random], so a bench
+    or test failure can always be replayed. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] is uniform in [\[0, bound)]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) in
+  r mod bound
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [split t] derives an independent generator; used to give each
+    simulated process its own stream so spawn order does not perturb
+    other processes' draws. *)
+let split t = { state = next_int64 t }

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic choice in the simulation draws from an explicitly
+    seeded generator so failures replay exactly. *)
+
+type t
+
+val create : seed:int64 -> t
+val next_int64 : t -> int64
+
+(** Uniform in [\[0, bound)]; [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [\[0., bound)]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** Derive an independent generator (stream splitting). *)
+val split : t -> t

@@ -1,0 +1,59 @@
+(** Online statistics accumulator used by the benchmark harness.
+
+    Keeps every sample (experiments are small enough) so exact
+    percentiles are available alongside the running mean. *)
+
+type t = {
+  name : string;
+  mutable samples : float list;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create name =
+  { name; samples = []; count = 0; sum = 0.; min = infinity; max = neg_infinity }
+
+let name t = t.name
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then nan else t.min
+let max_value t = if t.count = 0 then nan else t.max
+
+let percentile t p =
+  if t.count = 0 then nan
+  else begin
+    let sorted = List.sort Float.compare t.samples in
+    let arr = Array.of_list sorted in
+    let rank = p /. 100. *. float_of_int (Array.length arr - 1) in
+    let lo = int_of_float (Float.round rank) in
+    let lo = if lo < 0 then 0 else if lo >= Array.length arr then Array.length arr - 1 else lo in
+    arr.(lo)
+  end
+
+let median t = percentile t 50.
+
+let stddev t =
+  if t.count < 2 then 0.
+  else begin
+    let m = mean t in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. t.samples
+      /. float_of_int (t.count - 1)
+    in
+    sqrt var
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "%s: n=%d mean=%.3f min=%.3f max=%.3f p50=%.3f" t.name t.count
+    (mean t) (min_value t) (max_value t) (median t)

@@ -1,0 +1,19 @@
+(** Sample accumulator with exact percentiles (keeps all samples). *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+val add : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val median : t -> float
+
+(** [percentile t p] for [p] in [\[0, 100\]]. *)
+val percentile : t -> float -> float
+
+val stddev : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(** Simulated time: floats counting microseconds. *)
+
+type t = float
+
+val us : float -> t
+val ms : float -> t
+val sec : float -> t
+val ns : float -> t
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/camera_app.ml: Devices Int64 Oskit Runner

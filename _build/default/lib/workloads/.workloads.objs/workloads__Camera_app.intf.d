@@ -1,0 +1,1 @@
+lib/workloads/camera_app.mli: Runner

@@ -1,0 +1,1 @@
+lib/workloads/gem.ml: Array Devices Int64 List Memory Oskit Runner Task

@@ -1,0 +1,1 @@
+lib/workloads/gem.mli: Oskit Runner

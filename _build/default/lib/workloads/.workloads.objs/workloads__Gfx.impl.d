@@ -1,0 +1,1 @@
+lib/workloads/gfx.ml: Bytes Devices Gem Oskit Runner

@@ -1,0 +1,1 @@
+lib/workloads/mouse_latency.ml: Devices List Oskit Paradice Runner Sim

@@ -1,0 +1,1 @@
+lib/workloads/mouse_latency.mli: Runner

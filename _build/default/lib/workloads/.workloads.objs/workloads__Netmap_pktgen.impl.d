@@ -1,0 +1,1 @@
+lib/workloads/netmap_pktgen.ml: Bytes Devices Int32 Int64 Memory Oskit Paradice Runner Sim

@@ -1,0 +1,1 @@
+lib/workloads/netmap_pktgen.mli: Runner

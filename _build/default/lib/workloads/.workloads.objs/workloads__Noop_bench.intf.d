@@ -1,0 +1,1 @@
+lib/workloads/noop_bench.mli: Runner

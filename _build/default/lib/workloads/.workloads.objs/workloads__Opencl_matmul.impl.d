@@ -1,0 +1,1 @@
+lib/workloads/opencl_matmul.ml: Array Bytes Devices Gem Int64 List Oskit Paradice Printf Runner Sim

@@ -1,0 +1,1 @@
+lib/workloads/opencl_matmul.mli: Paradice Runner

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Errno Int64 Kernel Oskit Paradice Sim Task Vfs

@@ -1,0 +1,29 @@
+(** Audio playback (§6.1.6): play a PCM file and measure how long
+    playback takes — identical across configurations because the codec
+    drains at the sample rate. *)
+
+open Runner
+
+let run env ~seconds () =
+  run_to_completion env (fun () ->
+      let task = spawn_app env ~name:"aplay" in
+      let fd = openf env task "/dev/snd/pcm0" in
+      let params = Oskit.Task.alloc_buf task 8 in
+      put_u32 task ~gva:params 44_100;
+      put_u32 task ~gva:(params + 4) 2;
+      let (_ : int) =
+        ioctl env task fd ~cmd:Devices.Pcm_drv.set_rate_ioctl ~arg:(Int64.of_int params)
+      in
+      let total = int_of_float (seconds *. 44_100.) * 4 in
+      let chunk = 16 * 1024 in
+      let buf = Oskit.Task.alloc_buf task chunk in
+      let t0 = now_us env in
+      let remaining = ref total in
+      while !remaining > 0 do
+        let n = min chunk !remaining in
+        remaining := !remaining - write env task fd ~buf ~len:n
+      done;
+      let (_ : int) = ioctl env task fd ~cmd:Devices.Pcm_drv.drain_ioctl ~arg:0L in
+      let playback_s = (now_us env -. t0) /. 1_000_000. in
+      close env task fd;
+      playback_s)

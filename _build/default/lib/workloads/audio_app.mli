@@ -1,0 +1,3 @@
+(** PCM playback (§6.1.6); returns seconds taken to play the file. *)
+
+val run : Runner.env -> seconds:float -> unit -> float

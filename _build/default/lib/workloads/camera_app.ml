@@ -1,0 +1,50 @@
+(** GUVCview-style camera capture (§6.1.6): stream at a given
+    resolution and measure delivered FPS. *)
+
+open Runner
+
+let run env ~width ~height ~frames () =
+  run_to_completion env (fun () ->
+      let task = spawn_app env ~name:"guvcview" in
+      let fd = openf env task "/dev/video0" in
+      let fmt = Oskit.Task.alloc_buf task 8 in
+      put_u32 task ~gva:fmt width;
+      put_u32 task ~gva:(fmt + 4) height;
+      let (_ : int) =
+        ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_s_fmt ~arg:(Int64.of_int fmt)
+      in
+      let req = Oskit.Task.alloc_buf task 8 in
+      put_u32 task ~gva:req 4;
+      let (_ : int) =
+        ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_reqbufs ~arg:(Int64.of_int req)
+      in
+      let qb = Oskit.Task.alloc_buf task 8 in
+      for i = 0 to 3 do
+        put_u32 task ~gva:qb i;
+        let (_ : int) =
+          ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_qbuf ~arg:(Int64.of_int qb)
+        in
+        ()
+      done;
+      let (_ : int) = ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_streamon ~arg:0L in
+      (* first frame out of the timed window *)
+      let (_ : int) = ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_dqbuf ~arg:(Int64.of_int qb) in
+      let idx0 = u32 task ~gva:qb in
+      put_u32 task ~gva:qb idx0;
+      let (_ : int) = ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_qbuf ~arg:(Int64.of_int qb) in
+      let t0 = now_us env in
+      for _ = 1 to frames do
+        let (_ : int) =
+          ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_dqbuf ~arg:(Int64.of_int qb)
+        in
+        let idx = u32 task ~gva:qb in
+        put_u32 task ~gva:qb idx;
+        let (_ : int) =
+          ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_qbuf ~arg:(Int64.of_int qb)
+        in
+        ()
+      done;
+      let elapsed = now_us env -. t0 in
+      let (_ : int) = ioctl env task fd ~cmd:Devices.V4l2_drv.vidioc_streamoff ~arg:0L in
+      close env task fd;
+      float_of_int frames /. (elapsed /. 1_000_000.))

@@ -1,0 +1,3 @@
+(** GUVCview-style capture (§6.1.6); returns delivered FPS. *)
+
+val run : Runner.env -> width:int -> height:int -> frames:int -> unit -> float

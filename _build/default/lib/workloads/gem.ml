@@ -1,0 +1,95 @@
+(** Minimal userspace GEM library ("libdrm") used by the GPU
+    workloads: buffer-object creation, mapping and command submission
+    over the Radeon ioctl ABI. *)
+
+open Oskit
+open Runner
+
+type bo = { handle : int; size : int; mutable va : int option }
+
+let open_gpu env task = openf env task "/dev/dri/card0"
+
+let create env task fd ~size ~domain =
+  let arg = Task.alloc_buf task Devices.Radeon_ioctl.gem_create_size in
+  put_u64 task ~gva:(arg + Devices.Radeon_ioctl.gem_create_off_size) size;
+  put_u32 task ~gva:(arg + Devices.Radeon_ioctl.gem_create_off_domain) domain;
+  let (_ : int) =
+    ioctl env task fd ~cmd:Devices.Radeon_ioctl.gem_create ~arg:(Int64.of_int arg)
+  in
+  let handle = u32 task ~gva:(arg + Devices.Radeon_ioctl.gem_create_off_handle) in
+  Task.free_buf task ~gva:arg ~len:Devices.Radeon_ioctl.gem_create_size;
+  { handle; size; va = None }
+
+let map env task fd bo =
+  match bo.va with
+  | Some va -> va
+  | None ->
+      let arg = Task.alloc_buf task Devices.Radeon_ioctl.gem_mmap_size in
+      put_u32 task ~gva:(arg + Devices.Radeon_ioctl.gem_mmap_off_handle) bo.handle;
+      let (_ : int) =
+        ioctl env task fd ~cmd:Devices.Radeon_ioctl.gem_mmap ~arg:(Int64.of_int arg)
+      in
+      let cookie = u64 task ~gva:(arg + Devices.Radeon_ioctl.gem_mmap_off_addr) in
+      Task.free_buf task ~gva:arg ~len:Devices.Radeon_ioctl.gem_mmap_size;
+      let len = Memory.Addr.align_up bo.size in
+      let va = mmap env task fd ~len ~pgoff:(cookie / Memory.Addr.page_size) in
+      bo.va <- Some va;
+      va
+
+(** Submit an IB + relocs through the CS ioctl; returns the fence. *)
+let submit_cs env task fd ~ib_words ~relocs =
+  let ib_bytes = max (List.length ib_words * 4) 4 in
+  let ib_buf = Task.alloc_buf task ib_bytes in
+  List.iteri (fun i w -> put_u32 task ~gva:(ib_buf + (i * 4)) w) ib_words;
+  let reloc_bytes = max (Array.length relocs * 4) 4 in
+  let reloc_buf = Task.alloc_buf task reloc_bytes in
+  Array.iteri (fun i (bo : bo) -> put_u32 task ~gva:(reloc_buf + (i * 4)) bo.handle) relocs;
+  let hdr_ib = Task.alloc_buf task Devices.Radeon_ioctl.cs_chunk_header_size in
+  put_u32 task ~gva:(hdr_ib + Devices.Radeon_ioctl.chunk_off_id)
+    Devices.Radeon_ioctl.chunk_id_ib;
+  put_u32 task ~gva:(hdr_ib + Devices.Radeon_ioctl.chunk_off_length_dw)
+    (List.length ib_words);
+  put_u64 task ~gva:(hdr_ib + Devices.Radeon_ioctl.chunk_off_data) ib_buf;
+  let hdr_re = Task.alloc_buf task Devices.Radeon_ioctl.cs_chunk_header_size in
+  put_u32 task ~gva:(hdr_re + Devices.Radeon_ioctl.chunk_off_id)
+    Devices.Radeon_ioctl.chunk_id_relocs;
+  put_u32 task ~gva:(hdr_re + Devices.Radeon_ioctl.chunk_off_length_dw)
+    (Array.length relocs);
+  put_u64 task ~gva:(hdr_re + Devices.Radeon_ioctl.chunk_off_data) reloc_buf;
+  let ptrs = Task.alloc_buf task 16 in
+  put_u64 task ~gva:ptrs hdr_ib;
+  put_u64 task ~gva:(ptrs + 8) hdr_re;
+  let arg = Task.alloc_buf task Devices.Radeon_ioctl.cs_size in
+  put_u32 task ~gva:(arg + Devices.Radeon_ioctl.cs_off_num_chunks) 2;
+  put_u64 task ~gva:(arg + Devices.Radeon_ioctl.cs_off_chunks_ptr) ptrs;
+  let (_ : int) = ioctl env task fd ~cmd:Devices.Radeon_ioctl.cs ~arg:(Int64.of_int arg) in
+  let fence = u64 task ~gva:(arg + Devices.Radeon_ioctl.cs_off_fence) in
+  List.iter
+    (fun (gva, len) -> Task.free_buf task ~gva ~len)
+    [
+      (ib_buf, ib_bytes); (reloc_buf, reloc_bytes);
+      (hdr_ib, Devices.Radeon_ioctl.cs_chunk_header_size);
+      (hdr_re, Devices.Radeon_ioctl.cs_chunk_header_size); (ptrs, 16);
+      (arg, Devices.Radeon_ioctl.cs_size);
+    ];
+  fence
+
+let wait_idle env task fd =
+  let arg = Task.alloc_buf task Devices.Radeon_ioctl.gem_wait_idle_size in
+  let (_ : int) =
+    ioctl env task fd ~cmd:Devices.Radeon_ioctl.gem_wait_idle ~arg:(Int64.of_int arg)
+  in
+  Task.free_buf task ~gva:arg ~len:Devices.Radeon_ioctl.gem_wait_idle_size
+
+(** An INFO query — the X-server-style state ioctl games issue while
+    rendering. *)
+let query_info env task fd ~request =
+  let value_buf = Task.alloc_buf task 8 in
+  let arg = Task.alloc_buf task Devices.Radeon_ioctl.info_size in
+  put_u32 task ~gva:(arg + Devices.Radeon_ioctl.info_off_request) request;
+  put_u64 task ~gva:(arg + Devices.Radeon_ioctl.info_off_value_ptr) value_buf;
+  let (_ : int) = ioctl env task fd ~cmd:Devices.Radeon_ioctl.info ~arg:(Int64.of_int arg) in
+  let v = u64 task ~gva:value_buf in
+  Task.free_buf task ~gva:value_buf ~len:8;
+  Task.free_buf task ~gva:arg ~len:Devices.Radeon_ioctl.info_size;
+  v

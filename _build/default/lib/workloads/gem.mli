@@ -1,0 +1,16 @@
+(** Minimal userspace GEM library ("libdrm"): buffer objects, mapping
+    and command submission over the Radeon ioctl ABI. *)
+
+type bo = { handle : int; size : int; mutable va : int option }
+
+val open_gpu : Runner.env -> Oskit.Defs.task -> int
+val create : Runner.env -> Oskit.Defs.task -> int -> size:int -> domain:int -> bo
+val map : Runner.env -> Oskit.Defs.task -> int -> bo -> int
+
+(** Submit an IB + relocs through the nested-copy CS ioctl; returns
+    the fence. *)
+val submit_cs :
+  Runner.env -> Oskit.Defs.task -> int -> ib_words:int list -> relocs:bo array -> int
+
+val wait_idle : Runner.env -> Oskit.Defs.task -> int -> unit
+val query_info : Runner.env -> Oskit.Defs.task -> int -> request:int -> int

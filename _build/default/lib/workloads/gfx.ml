@@ -1,0 +1,85 @@
+(** GPU graphics workloads: the OpenGL microbenchmarks (Figure 3) and
+    the 3D games (Figure 4).
+
+    Each profile describes one benchmark by its GPU work per frame
+    (vertex count; the pixel cost follows from the resolution) and by
+    the file-operation traffic per frame.  Profiles are calibrated so
+    the {e native} FPS matches the paper's measurements; the
+    virtualized FPS then falls out of the forwarding costs. *)
+
+open Runner
+
+type profile = {
+  name : string;
+  vertices : int; (* scene complexity: GPU time = vertices x 0.3us + pixels x 6ns *)
+  state_ioctls_per_frame : int; (* INFO-style driver queries per frame *)
+  texture_uploads_per_frame : int; (* mapped-buffer writes per frame *)
+}
+
+(* OpenGL teapot microbenchmarks (~6000 polygons, §6.1.3).  The three
+   API styles differ in how much per-frame driver traffic they
+   generate: Vertex Arrays re-submit vertex data every frame, while
+   VBOs and display lists keep it on the GPU. *)
+let vbo = { name = "VBO"; vertices = 6000; state_ioctls_per_frame = 6; texture_uploads_per_frame = 0 }
+let vertex_array =
+  { name = "VA"; vertices = 6000; state_ioctls_per_frame = 14; texture_uploads_per_frame = 1 }
+let display_list =
+  { name = "DL"; vertices = 5400; state_ioctls_per_frame = 5; texture_uploads_per_frame = 0 }
+
+let opengl_benchmarks = [ vbo; vertex_array; display_list ]
+
+(* 3D first-person shooters (§6.1.3).  Vertex counts calibrated to the
+   Phoronix-style native FPS at 800x600; heavier state traffic than
+   the microbenchmarks. *)
+let tremulous =
+  { name = "Tremulous"; vertices = 38000; state_ioctls_per_frame = 24; texture_uploads_per_frame = 2 }
+let openarena =
+  { name = "OpenArena"; vertices = 36000; state_ioctls_per_frame = 22; texture_uploads_per_frame = 2 }
+let nexuiz =
+  { name = "Nexuiz"; vertices = 52000; state_ioctls_per_frame = 28; texture_uploads_per_frame = 3 }
+
+let games = [ tremulous; openarena; nexuiz ]
+
+let resolutions = [ (800, 600); (1024, 768); (1280, 1024); (1680, 1050) ]
+
+(** Render [frames] frames of [profile] at [width]x[height]; returns
+    the average FPS.  One command submission per frame plus the
+    profile's state traffic, fence-synchronised like a double-buffered
+    swap.  VSync is disabled by default, as in §6.1.3; [~vsync:true]
+    paces frames with the driver's software-emulated VSync (the §5.3
+    extension), capping FPS at the refresh rate. *)
+let run env ?(vsync = false) ~profile ~width ~height ~frames () =
+  run_to_completion env (fun () ->
+      let task = spawn_app env ~name:("gfx-" ^ profile.name) in
+      let fd = Gem.open_gpu env task in
+      let texture =
+        Gem.create env task fd ~size:(256 * 1024) ~domain:Devices.Radeon_ioctl.domain_gtt
+      in
+      let tex_va = Gem.map env task fd texture in
+      (* warm-up frame: mappings faulted in, caches hot *)
+      let render_frame () =
+        for _ = 1 to profile.state_ioctls_per_frame do
+          ignore (Gem.query_info env task fd ~request:Devices.Radeon_ioctl.info_accel_working)
+        done;
+        for i = 1 to profile.texture_uploads_per_frame do
+          Oskit.Vfs.user_write env.kernel task
+            ~gva:(tex_va + (i * 64))
+            (Bytes.make 64 '\001')
+        done;
+        let ib =
+          [ Devices.Radeon_ioctl.pkt_draw; profile.vertices; width; height; 1; 0 ]
+        in
+        let (_ : int) = Gem.submit_cs env task fd ~ib_words:ib ~relocs:[| texture |] in
+        Gem.wait_idle env task fd;
+        if vsync then
+          ignore (ioctl env task fd ~cmd:Devices.Radeon_ioctl.wait_vsync ~arg:0L)
+      in
+      render_frame ();
+      let t0 = now_us env in
+      for _ = 1 to frames do
+        render_frame ()
+      done;
+      let elapsed = now_us env -. t0 in
+      let fps = float_of_int frames /. (elapsed /. 1_000_000.) in
+      close env task fd;
+      fps)

@@ -1,0 +1,5 @@
+(** Mouse latency (§6.1.5): SIGIO-driven reads; returns the average
+    time from the physical event report to the read reaching the
+    driver. *)
+
+val run : Runner.env -> moves:int -> ?rate_hz:float -> unit -> float

@@ -1,0 +1,8 @@
+(** The netmap packet generator (Figure 2): transmit fixed-size
+    packets as fast as possible, one poll file operation per batch. *)
+
+val per_packet_fill_us : float
+
+type result = { rate_mpps : float; packets : int; elapsed_s : float }
+
+val run : Runner.env -> packets:int -> batch:int -> ?pkt_size:int -> unit -> result

@@ -1,0 +1,4 @@
+(** The §6.1.1 no-op file-operation microbenchmark; returns average
+    added latency per operation in microseconds (steady state). *)
+
+val run : Runner.env -> ops:int -> unit -> float

@@ -1,0 +1,107 @@
+(** OpenCL matrix multiplication (Figures 5 and 6).
+
+    Mirrors a Gallium-Compute host program: create three buffer
+    objects, map and fill the inputs, submit one compute kernel,
+    fence-wait and read back.  "Experiment time" is measured exactly
+    as in §6.1.4: from GPU setup to result receipt.
+
+    [verify] selects the GPU's full computation (tests, small orders);
+    benchmark runs over large orders use the probing mode, which
+    exercises the same data paths and charges the same modelled GPU
+    time without the O(n^3) host-side arithmetic. *)
+
+open Runner
+
+(* Fixed OpenCL runtime overhead: platform discovery + kernel
+   compilation, dominating the small-order experiments in Figure 5. *)
+let runtime_setup_us = 150_000.
+
+let fill_matrix env task ~gva ~order ~seed =
+  (* one bulk write per row, through the fault-handling user path *)
+  let row = Bytes.create (order * 8) in
+  for i = 0 to order - 1 do
+    for j = 0 to order - 1 do
+      Bytes.set_int64_le row (j * 8)
+        (Int64.bits_of_float (float_of_int (((i + seed) * 31) + j)))
+    done;
+    Oskit.Vfs.user_write env.kernel task ~gva:(gva + (i * order * 8)) row
+  done
+
+(** One full experiment; returns simulated seconds. *)
+let run env ?(verify = false) ~order () =
+  run_to_completion env (fun () ->
+      let task = spawn_app env ~name:"opencl" in
+      let t0 = now_us env in
+      let fd = Gem.open_gpu env task in
+      (* platform/device discovery, as clinfo does *)
+      ignore (Gem.query_info env task fd ~request:Devices.Radeon_ioctl.info_device_id);
+      ignore (Gem.query_info env task fd ~request:Devices.Radeon_ioctl.info_num_gb_pipes);
+      Sim.Engine.wait runtime_setup_us;
+      let bytes = max (order * order * 8) 8 in
+      let mk () = Gem.create env task fd ~size:bytes ~domain:Devices.Radeon_ioctl.domain_gtt in
+      let a = mk () and b = mk () and out = mk () in
+      let va = Gem.map env task fd a and vb = Gem.map env task fd b in
+      let vout = Gem.map env task fd out in
+      if verify || order <= 64 then begin
+        fill_matrix env task ~gva:va ~order ~seed:1;
+        fill_matrix env task ~gva:vb ~order ~seed:7
+      end
+      else begin
+        (* touch first/last pages so mappings and isolation paths are
+           exercised without writing O(n^2) host bytes *)
+        Oskit.Vfs.user_write env.kernel task ~gva:va (Bytes.make 8 '\001');
+        Oskit.Vfs.user_write env.kernel task ~gva:(va + bytes - 8) (Bytes.make 8 '\001');
+        Oskit.Vfs.user_write env.kernel task ~gva:vb (Bytes.make 8 '\001');
+        Oskit.Vfs.user_write env.kernel task ~gva:(vb + bytes - 8) (Bytes.make 8 '\001')
+      end;
+      let ib =
+        [ Devices.Radeon_ioctl.pkt_compute; order; 0; 1; 2; (if verify then 1 else 0) ]
+      in
+      let (_ : int) = Gem.submit_cs env task fd ~ib_words:ib ~relocs:[| a; b; out |] in
+      Gem.wait_idle env task fd;
+      (* read the result back through the mapping *)
+      let (_ : bytes) = Oskit.Vfs.user_read env.kernel task ~gva:vout ~len:8 in
+      let (_ : bytes) =
+        Oskit.Vfs.user_read env.kernel task ~gva:(vout + bytes - 8) ~len:8
+      in
+      close env task fd;
+      (now_us env -. t0) /. 1_000_000.)
+
+(** Figure 6: [n_guests] guests run the order-500 benchmark [reps]
+    times concurrently on the shared GPU; returns each guest's average
+    experiment time in seconds. *)
+let run_concurrent machine ~guests ~order ~reps =
+  let results = Array.make (List.length guests) 0. in
+  List.iteri
+    (fun idx (guest : Paradice.Machine.guest) ->
+      let env =
+        of_guest ~label:(Printf.sprintf "vm%d" (idx + 1)) machine guest
+      in
+      spawn env (fun () ->
+          let total = ref 0. in
+          for _ = 1 to reps do
+            let task = spawn_app env ~name:"opencl" in
+            let t0 = now_us env in
+            let fd = Gem.open_gpu env task in
+            ignore (Gem.query_info env task fd ~request:Devices.Radeon_ioctl.info_device_id);
+            Sim.Engine.wait runtime_setup_us;
+            let bytes = order * order * 8 in
+            let mk () =
+              Gem.create env task fd ~size:bytes ~domain:Devices.Radeon_ioctl.domain_gtt
+            in
+            let a = mk () and b = mk () and out = mk () in
+            let va = Gem.map env task fd a and vb = Gem.map env task fd b in
+            let vout = Gem.map env task fd out in
+            Oskit.Vfs.user_write env.kernel task ~gva:va (Bytes.make 8 '\001');
+            Oskit.Vfs.user_write env.kernel task ~gva:vb (Bytes.make 8 '\001');
+            let ib = [ Devices.Radeon_ioctl.pkt_compute; order; 0; 1; 2; 0 ] in
+            let (_ : int) = Gem.submit_cs env task fd ~ib_words:ib ~relocs:[| a; b; out |] in
+            Gem.wait_idle env task fd;
+            let (_ : bytes) = Oskit.Vfs.user_read env.kernel task ~gva:vout ~len:8 in
+            close env task fd;
+            total := !total +. ((now_us env -. t0) /. 1_000_000.)
+          done;
+          results.(idx) <- !total /. float_of_int reps))
+    guests;
+  Sim.Engine.run (Paradice.Machine.engine machine);
+  results

@@ -1,0 +1,17 @@
+(** OpenCL matrix multiplication (Figures 5 and 6): a Gallium-Compute-
+    style host program measured from GPU setup to result receipt. *)
+
+val runtime_setup_us : float
+
+(** One experiment; returns simulated seconds.  [~verify:true] makes
+    the GPU compute (and the caller able to check) the real product. *)
+val run : Runner.env -> ?verify:bool -> order:int -> unit -> float
+
+(** Figure 6: every guest runs the benchmark [reps] times
+    concurrently; per-guest average seconds. *)
+val run_concurrent :
+  Paradice.Machine.t ->
+  guests:Paradice.Machine.guest list ->
+  order:int ->
+  reps:int ->
+  float array

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Array Bytes Defs Devices Errno Hypervisor Int64 Kernel List Memory Os_flavor Oskit Sim Task Vfs

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Analyzer Bytes Cmd_macro Devices Extract Fixtures Hypervisor Int32 Int64 Ir List Oskit QCheck QCheck_alcotest Radeon_ir Slice

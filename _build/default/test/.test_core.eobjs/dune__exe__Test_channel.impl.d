@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Bytes Devices Fixtures Int64 Option Oskit Paradice Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_cvd.ml: Alcotest Bytes Defs Devfs Devices Errno Fixtures Hypervisor Int64 Kernel List Memory Option Os_flavor Oskit Paradice Printf Sim String Task Vfs

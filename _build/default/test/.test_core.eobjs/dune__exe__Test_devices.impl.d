@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Bytes Defs Devices Errno Fixtures Int32 Int64 Kernel List Memory Oskit Printf Sim Task Vfs

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Baselines Devices List Option Oskit Paradice Printf Setup Sim Workloads

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Audit Bytes Gen Grant_table Hyp Hypervisor Interrupt List Memory QCheck QCheck_alcotest Region Shared_page Sim String Vm

@@ -1,0 +1,1 @@
+test/test_isolation_e2e.ml: Alcotest Bytes Devices Fixtures Hypervisor List Memory Option Oskit Paradice Sim Workloads

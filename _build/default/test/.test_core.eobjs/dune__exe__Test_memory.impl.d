@@ -1,0 +1,1 @@
+test/test_memory.ml: Addr Alcotest Allocator Bytes Char Ept Fault Gen Guest_pt Hashtbl Iommu List Memory Perm Phys_mem QCheck QCheck_alcotest Radix_table String

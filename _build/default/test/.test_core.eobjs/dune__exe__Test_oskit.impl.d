@@ -1,0 +1,1 @@
+test/test_oskit.ml: Alcotest Buffer Bytes Defs Devfs Errno Hashtbl Hypervisor Int64 Kernel List Memory Os_flavor Oskit QCheck QCheck_alcotest Sim Task Uaccess Vfs Wait_queue

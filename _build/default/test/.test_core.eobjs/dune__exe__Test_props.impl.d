@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Analyzer Bytes Char Devices Hypervisor List Memory Oskit QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Baselines Emulation List Paradice Printf Self_virt Setup Strategy Workloads

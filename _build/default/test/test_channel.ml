@@ -1,0 +1,282 @@
+(* Transport-level tests: channel timing, cold/warm accounting, signal
+   collapsing, pool behaviour, and failure injection at the wire level
+   (a malicious frontend must not be able to wedge the backend). *)
+
+module M = Paradice.Machine
+
+let boot_null () =
+  let m = M.create () in
+  let (_ : Oskit.Defs.device) = M.attach_null m in
+  let g = M.add_guest m ~name:"g" () in
+  (m, g)
+
+let run_in eng f =
+  let r = ref None in
+  Sim.Engine.spawn eng (fun () -> r := Some (f ()));
+  Sim.Engine.run eng;
+  Option.get !r
+
+let raw_rpc g bytes = Paradice.Chan_pool.rpc g.M.link.Paradice.Cvd_back.pool bytes
+
+let test_malformed_request_rejected () =
+  (* garbage opcode straight onto the wire *)
+  let m, g = boot_null () in
+  run_in (M.engine m) (fun () ->
+      let junk = Bytes.make Paradice.Proto.slot_size '\xff' in
+      match Paradice.Proto.decode_response (raw_rpc g junk) with
+      | Paradice.Proto.Rerr code ->
+          Alcotest.(check (option string)) "EINVAL on garbage" (Some "EINVAL")
+            (Option.map Oskit.Errno.to_string (Oskit.Errno.of_code code))
+      | _ -> Alcotest.fail "garbage must be rejected");
+  (* backend still alive afterwards *)
+  run_in (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      let resp =
+        raw_rpc g
+          (Paradice.Proto.encode_request ~grant_ref:0 ~pid:app.Oskit.Defs.pid
+             Paradice.Proto.Rnoop)
+      in
+      Alcotest.(check bool) "backend survives garbage" true
+        (Paradice.Proto.decode_response resp = Paradice.Proto.Rok 0))
+
+let test_bad_vfd_rejected () =
+  let m, g = boot_null () in
+  run_in (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      let resp =
+        raw_rpc g
+          (Paradice.Proto.encode_request ~grant_ref:0 ~pid:app.Oskit.Defs.pid
+             (Paradice.Proto.Rread { vfd = 999; buf = 0x1000; len = 4 }))
+      in
+      match Paradice.Proto.decode_response resp with
+      | Paradice.Proto.Rerr _ -> ()
+      | _ -> Alcotest.fail "bad vfd must error")
+
+let test_unknown_pid_rejected () =
+  (* a request naming a process the hypervisor has never seen *)
+  let m, g = boot_null () in
+  run_in (M.engine m) (fun () ->
+      let resp =
+        raw_rpc g
+          (Paradice.Proto.encode_request ~grant_ref:0 ~pid:424242
+             (Paradice.Proto.Ropen { path = "/dev/null0" }))
+      in
+      match Paradice.Proto.decode_response resp with
+      | Paradice.Proto.Rerr code ->
+          Alcotest.(check (option string)) "EFAULT for unknown process"
+            (Some "EFAULT")
+            (Option.map Oskit.Errno.to_string (Oskit.Errno.of_code code))
+      | _ -> Alcotest.fail "unknown pid must be rejected")
+
+let test_open_non_exported_path_rejected () =
+  (* the backend only serves explicitly exported device paths *)
+  let m = M.create () in
+  let (_ : Oskit.Defs.device) = M.attach_null m in
+  (* a private driver-VM device that is NOT exported *)
+  Oskit.Devfs.register
+    (Oskit.Kernel.devfs (M.driver_kernel m))
+    (Oskit.Defs.make_device ~path:"/dev/private0" ~cls:"secret" ~driver:"x"
+       Oskit.Defs.default_ops);
+  let g = M.add_guest m ~name:"g" () in
+  run_in (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      let resp =
+        raw_rpc g
+          (Paradice.Proto.encode_request ~grant_ref:0 ~pid:app.Oskit.Defs.pid
+             (Paradice.Proto.Ropen { path = "/dev/private0" }))
+      in
+      match Paradice.Proto.decode_response resp with
+      | Paradice.Proto.Rerr code ->
+          Alcotest.(check (option string)) "ENODEV for unexported path"
+            (Some "ENODEV")
+            (Option.map Oskit.Errno.to_string (Oskit.Errno.of_code code))
+      | _ -> Alcotest.fail "unexported path must be refused")
+
+let test_cold_then_warm_legs () =
+  let m, g = boot_null () in
+  run_in (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      let noop () =
+        ignore
+          (raw_rpc g
+             (Paradice.Proto.encode_request ~grant_ref:0 ~pid:app.Oskit.Defs.pid
+                Paradice.Proto.Rnoop))
+      in
+      noop ();
+      let s1 = Paradice.Chan_pool.stats g.M.link.Paradice.Cvd_back.pool in
+      Alcotest.(check int) "first exchange: both legs cold" 2
+        s1.Paradice.Chan_pool.cold_legs;
+      noop ();
+      let s2 = Paradice.Chan_pool.stats g.M.link.Paradice.Cvd_back.pool in
+      Alcotest.(check int) "back-to-back: no new cold legs" 2
+        s2.Paradice.Chan_pool.cold_legs;
+      (* go idle past the threshold: cold again *)
+      Sim.Engine.wait 5_000.;
+      noop ();
+      let s3 = Paradice.Chan_pool.stats g.M.link.Paradice.Cvd_back.pool in
+      Alcotest.(check int) "after idle: both legs cold again" 4
+        s3.Paradice.Chan_pool.cold_legs)
+
+let test_notification_collapse () =
+  let m = M.create () in
+  let mouse = M.attach_mouse m in
+  let g = M.add_guest m ~name:"g" () in
+  let sigio_count = ref 0 in
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      let fd = Fixtures.ok (Oskit.Vfs.openf g.M.kernel app "/dev/input/event0") in
+      Oskit.Task.on_sigio app (fun () -> incr sigio_count);
+      Fixtures.ok (Oskit.Vfs.fasync g.M.kernel app fd ~on:true));
+  (* a burst of 10 events (after the subscription has settled) lands
+     while no one consumes notifications: the pending interrupt must
+     collapse them *)
+  Sim.Engine.at (M.engine m) ~delay:5_000. (fun () ->
+      Devices.Evdev.start_mouse mouse ~rate_hz:100_000. ~moves:5);
+  Sim.Engine.run (M.engine m);
+  Alcotest.(check bool)
+    (Printf.sprintf "burst collapsed into few signals (got %d)" !sigio_count)
+    true
+    (!sigio_count >= 1 && !sigio_count <= 5)
+
+let test_pool_cap_counts_rejections () =
+  let cfg = { Paradice.Config.default with Paradice.Config.max_queued_ops = 3 } in
+  let m = M.create ~config:cfg () in
+  let (_ : Devices.Evdev.t) = M.attach_mouse m in
+  let g = M.add_guest m ~name:"g" () in
+  let busy = ref 0 in
+  for i = 1 to 8 do
+    Sim.Engine.spawn (M.engine m) (fun () ->
+        let app = M.spawn_app m g.M.kernel ~name:(Printf.sprintf "p%d" i) in
+        match Oskit.Vfs.openf g.M.kernel app "/dev/input/event0" with
+        | Ok fd -> (
+            let buf = Oskit.Task.alloc_buf app 64 in
+            (* blocking read parks a worker *)
+            match Oskit.Vfs.read g.M.kernel app fd ~buf ~len:64 with
+            | Error Oskit.Errno.EBUSY -> incr busy
+            | _ -> ())
+        | Error Oskit.Errno.EBUSY -> incr busy
+        | Error _ -> ())
+  done;
+  Sim.Engine.run ~until:100_000. (M.engine m);
+  let s = Paradice.Chan_pool.stats g.M.link.Paradice.Cvd_back.pool in
+  Alcotest.(check bool) "cap of 3 rejected 5 of 8" true (!busy = 5);
+  Alcotest.(check int) "pool counted rejections" 5 s.Paradice.Chan_pool.rejected_busy
+
+let prop_proto_request_roundtrip =
+  QCheck.Test.make ~name:"wire requests round-trip for all field values" ~count:300
+    QCheck.(
+      tup4 (int_bound 3) (int_bound 0xffffff) (int_bound 0xffffff) (int_bound 169))
+    (fun (which, a, b, gref) ->
+      let req =
+        match which with
+        | 0 -> Paradice.Proto.Rread { vfd = a land 0xffff; buf = b; len = a }
+        | 1 -> Paradice.Proto.Rwrite { vfd = a land 0xffff; buf = b; len = a }
+        | 2 ->
+            Paradice.Proto.Rmmap
+              { vfd = a land 0xffff; gva = b; len = a land 0xfffff; pgoff = a lsr 4 }
+        | _ -> Paradice.Proto.Rioctl { vfd = a land 0xffff; cmd = b; arg = Int64.of_int a }
+      in
+      let bytes = Paradice.Proto.encode_request ~grant_ref:gref ~pid:(a land 0xffff) req in
+      let req', gref', pid' = Paradice.Proto.decode_request bytes in
+      req' = req && gref' = gref && pid' = a land 0xffff)
+
+let prop_proto_junk_never_crashes =
+  QCheck.Test.make ~name:"random wire bytes decode or raise Malformed" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.return 64))
+    (fun junk ->
+      let b = Bytes.make Paradice.Proto.slot_size '\000' in
+      Bytes.blit_string junk 0 b 0 (String.length junk);
+      match Paradice.Proto.decode_request b with
+      | _ -> true
+      | exception Paradice.Proto.Malformed _ -> true
+      | exception _ -> false)
+
+let test_concurrent_files_dispatch_correctly () =
+  (* Regression: two applications in one guest using different devices
+     concurrently — operations arrive on arbitrary pool channels and
+     must reach the right backend file regardless of which worker
+     carries them. *)
+  let m = M.create () in
+  let (_ : Devices.V4l2_drv.t) = M.attach_camera m () in
+  let (_ : Devices.Pcm_drv.t) = M.attach_audio m in
+  let g = M.add_guest m ~name:"media" () in
+  let k = g.M.kernel in
+  let frames = ref 0 and audio_done = ref false in
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m k ~name:"cam" in
+      let fd = Fixtures.ok (Oskit.Vfs.openf k app "/dev/video0") in
+      let req = Oskit.Task.alloc_buf app 8 in
+      Oskit.Task.write_u32 app ~gva:req 2;
+      let (_ : int) =
+        Fixtures.ok
+          (Oskit.Vfs.ioctl k app fd ~cmd:Devices.V4l2_drv.vidioc_reqbufs
+             ~arg:(Int64.of_int req))
+      in
+      let qb = Oskit.Task.alloc_buf app 8 in
+      for i = 0 to 1 do
+        Oskit.Task.write_u32 app ~gva:qb i;
+        let (_ : int) =
+          Fixtures.ok
+            (Oskit.Vfs.ioctl k app fd ~cmd:Devices.V4l2_drv.vidioc_qbuf
+               ~arg:(Int64.of_int qb))
+        in
+        ()
+      done;
+      let (_ : int) =
+        Fixtures.ok (Oskit.Vfs.ioctl k app fd ~cmd:Devices.V4l2_drv.vidioc_streamon ~arg:0L)
+      in
+      for _ = 1 to 3 do
+        let (_ : int) =
+          Fixtures.ok
+            (Oskit.Vfs.ioctl k app fd ~cmd:Devices.V4l2_drv.vidioc_dqbuf
+               ~arg:(Int64.of_int qb))
+        in
+        incr frames;
+        let idx = Oskit.Task.read_u32 app ~gva:qb in
+        Oskit.Task.write_u32 app ~gva:qb idx;
+        let (_ : int) =
+          Fixtures.ok
+            (Oskit.Vfs.ioctl k app fd ~cmd:Devices.V4l2_drv.vidioc_qbuf
+               ~arg:(Int64.of_int qb))
+        in
+        ()
+      done);
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m k ~name:"audio" in
+      let fd = Fixtures.ok (Oskit.Vfs.openf k app "/dev/snd/pcm0") in
+      let buf = Oskit.Task.alloc_buf app 4096 in
+      for _ = 1 to 8 do
+        let (_ : int) = Fixtures.ok (Oskit.Vfs.write k app fd ~buf ~len:4096) in
+        ()
+      done;
+      let (_ : int) =
+        Fixtures.ok (Oskit.Vfs.ioctl k app fd ~cmd:Devices.Pcm_drv.drain_ioctl ~arg:0L)
+      in
+      audio_done := true);
+  Sim.Engine.run (M.engine m);
+  Alcotest.(check int) "camera frames delivered" 3 !frames;
+  Alcotest.(check bool) "audio completed" true !audio_done
+
+let suites =
+  [
+    ( "channel.failure_injection",
+      [
+        Alcotest.test_case "malformed request rejected" `Quick test_malformed_request_rejected;
+        Alcotest.test_case "bad vfd rejected" `Quick test_bad_vfd_rejected;
+        Alcotest.test_case "unknown pid rejected" `Quick test_unknown_pid_rejected;
+        Alcotest.test_case "unexported path refused" `Quick test_open_non_exported_path_rejected;
+        QCheck_alcotest.to_alcotest prop_proto_junk_never_crashes;
+      ] );
+    ( "channel.timing",
+      [
+        Alcotest.test_case "cold/warm leg accounting" `Quick test_cold_then_warm_legs;
+        Alcotest.test_case "notification collapse" `Quick test_notification_collapse;
+        Alcotest.test_case "pool cap rejections" `Quick test_pool_cap_counts_rejections;
+      ] );
+    ("channel.proto", [ QCheck_alcotest.to_alcotest prop_proto_request_roundtrip ]);
+    ( "channel.dispatch",
+      [
+        Alcotest.test_case "concurrent files, any worker" `Quick
+          test_concurrent_files_dispatch_correctly;
+      ] );
+  ]

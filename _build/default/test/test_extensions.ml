@@ -1,0 +1,301 @@
+(* Tests for the extension features beyond the paper's prototype:
+   software VSync (§5.3), device breakage + watchdog recovery and
+   command-streamer protection (§8), the DSM transport preset, and the
+   ioctl-identification ablation. *)
+
+open Baselines
+
+let gpu_paradice ?(config = Paradice.Config.default) () =
+  Setup.make ~devices:[ Setup.Gpu ] (Setup.Paradice config)
+
+let test_vsync_caps_fps () =
+  let _m, env = gpu_paradice () in
+  let free =
+    Workloads.Gfx.run env ~profile:Workloads.Gfx.vbo ~width:1024 ~height:768
+      ~frames:20 ()
+  in
+  let _m2, env2 = gpu_paradice () in
+  let capped =
+    Workloads.Gfx.run env2 ~vsync:true ~profile:Workloads.Gfx.vbo ~width:1024
+      ~height:768 ~frames:20 ()
+  in
+  Alcotest.(check bool) "uncapped well above 60" true (free > 100.);
+  Alcotest.(check bool)
+    (Printf.sprintf "vsync caps at 60 (got %.1f)" capped)
+    true
+    (capped > 58. && capped <= 60.5)
+
+let test_vsync_no_effect_below_cap () =
+  (* a heavy game already under 60 FPS is not slowed further *)
+  let _m, env = gpu_paradice () in
+  let free =
+    Workloads.Gfx.run env ~profile:Workloads.Gfx.nexuiz ~width:1680 ~height:1050
+      ~frames:15 ()
+  in
+  let _m2, env2 = gpu_paradice () in
+  let vs =
+    Workloads.Gfx.run env2 ~vsync:true ~profile:Workloads.Gfx.nexuiz ~width:1680
+      ~height:1050 ~frames:15 ()
+  in
+  Alcotest.(check bool) "below cap anyway" true (free < 60.);
+  Alcotest.(check bool)
+    (Printf.sprintf "vsync costs at most one frame slot (%.1f vs %.1f)" vs free)
+    true
+    (vs > free *. 0.6)
+
+let wedge_gpu env task fd =
+  Workloads.Gem.submit_cs env task fd
+    ~ib_words:[ Devices.Radeon_ioctl.pkt_reg_write; Devices.Gpu_hw.reg_clock_ctl; 0 ]
+    ~relocs:[||]
+
+let test_wedge_detection_and_recovery () =
+  let machine, env = gpu_paradice () in
+  let att = Option.get machine.Paradice.Machine.gpu in
+  let radeon = att.Paradice.Machine.radeon in
+  Devices.Radeon_drv.set_watchdog_timeout radeon 5_000.;
+  Workloads.Runner.run_to_completion env (fun () ->
+      let task = Workloads.Runner.spawn_app env ~name:"evil" in
+      let fd = Workloads.Gem.open_gpu env task in
+      let (_ : int) = wedge_gpu env task fd in
+      Alcotest.(check bool) "wait_idle reports EIO after reset" true
+        (match Workloads.Gem.wait_idle env task fd with
+        | () -> false
+        | exception Workloads.Runner.Syscall_failed (Oskit.Errno.EIO, _) -> true);
+      Alcotest.(check int) "one recovery" 1 (Devices.Radeon_drv.stats_recoveries radeon);
+      Alcotest.(check bool) "gpu unwedged" false
+        (Devices.Gpu_hw.is_wedged att.Paradice.Machine.gpu);
+      (* device works again *)
+      let bo =
+        Workloads.Gem.create env task fd ~size:4096
+          ~domain:Devices.Radeon_ioctl.domain_gtt
+      in
+      let (_ : int) =
+        Workloads.Gem.submit_cs env task fd
+          ~ib_words:[ Devices.Radeon_ioctl.pkt_draw; 50; 320; 200; 1; 0 ]
+          ~relocs:[| bo |]
+      in
+      Workloads.Gem.wait_idle env task fd;
+      Alcotest.(check bool) "renders after recovery" true
+        (Devices.Gpu_hw.frames_rendered att.Paradice.Machine.gpu > 0))
+
+let test_command_streamer_protection () =
+  let machine, env = gpu_paradice () in
+  let att = Option.get machine.Paradice.Machine.gpu in
+  Devices.Radeon_drv.set_command_streamer_protection att.Paradice.Machine.radeon true;
+  Workloads.Runner.run_to_completion env (fun () ->
+      let task = Workloads.Runner.spawn_app env ~name:"evil" in
+      let fd = Workloads.Gem.open_gpu env task in
+      Alcotest.(check bool) "dangerous register write rejected" true
+        (match wedge_gpu env task fd with
+        | _ -> false
+        | exception Workloads.Runner.Syscall_failed (Oskit.Errno.EACCES, _) -> true);
+      Alcotest.(check bool) "gpu never wedged" false
+        (Devices.Gpu_hw.is_wedged att.Paradice.Machine.gpu);
+      (* benign register writes still pass *)
+      let (_ : int) =
+        Workloads.Gem.submit_cs env task fd
+          ~ib_words:[ Devices.Radeon_ioctl.pkt_reg_write; 0x500; 7 ]
+          ~relocs:[||]
+      in
+      Workloads.Gem.wait_idle env task fd)
+
+let test_victim_unaffected_after_attacker_wedge () =
+  (* a second guest's work resumes after the watchdog resets the GPU *)
+  let machine, _env =
+    Setup.make ~devices:[ Setup.Gpu ] ~extra_guests:1
+      (Setup.Paradice Paradice.Config.default)
+  in
+  let att = Option.get machine.Paradice.Machine.gpu in
+  Devices.Radeon_drv.set_watchdog_timeout att.Paradice.Machine.radeon 5_000.;
+  let guests = Paradice.Machine.guests machine in
+  let attacker = List.nth guests 0 and victim = List.nth guests 1 in
+  let env_a = Workloads.Runner.of_guest ~label:"attacker" machine attacker in
+  let env_v = Workloads.Runner.of_guest ~label:"victim" machine victim in
+  let victim_ok = ref false in
+  Workloads.Runner.spawn env_a (fun () ->
+      let task = Workloads.Runner.spawn_app env_a ~name:"evil" in
+      let fd = Workloads.Gem.open_gpu env_a task in
+      let (_ : int) = wedge_gpu env_a task fd in
+      (try Workloads.Gem.wait_idle env_a task fd with _ -> ()));
+  Workloads.Runner.spawn env_v (fun () ->
+      Sim.Engine.wait 20_000.;
+      (* after the watchdog fired *)
+      let task = Workloads.Runner.spawn_app env_v ~name:"good" in
+      let fd = Workloads.Gem.open_gpu env_v task in
+      let bo =
+        Workloads.Gem.create env_v task fd ~size:4096
+          ~domain:Devices.Radeon_ioctl.domain_gtt
+      in
+      let (_ : int) =
+        Workloads.Gem.submit_cs env_v task fd
+          ~ib_words:[ Devices.Radeon_ioctl.pkt_draw; 50; 320; 200; 1; 0 ]
+          ~relocs:[| bo |]
+      in
+      (try
+         Workloads.Gem.wait_idle env_v task fd;
+         victim_ok := true
+       with Workloads.Runner.Syscall_failed (Oskit.Errno.EIO, _) ->
+         (* raced the reset; retry once, as a resubmitting client would *)
+         let (_ : int) =
+           Workloads.Gem.submit_cs env_v task fd
+             ~ib_words:[ Devices.Radeon_ioctl.pkt_draw; 50; 320; 200; 1; 0 ]
+             ~relocs:[| bo |]
+         in
+         Workloads.Gem.wait_idle env_v task fd;
+         victim_ok := true));
+  Workloads.Runner.run env_v;
+  Alcotest.(check bool) "victim's work completed after recovery" true !victim_ok
+
+let test_remote_dsm_latency () =
+  let noop cfg =
+    let _m, env = Setup.make ~devices:[ Setup.Null ] (Setup.Paradice cfg) in
+    Workloads.Noop_bench.run env ~ops:200 ()
+  in
+  let local = noop Paradice.Config.default in
+  let remote = noop Paradice.Config.remote_dsm in
+  Alcotest.(check bool)
+    (Printf.sprintf "remote ~130us (got %.1f)" remote)
+    true
+    (remote > 120. && remote < 145.);
+  Alcotest.(check bool) "remote > local" true (remote > 3. *. local)
+
+let test_remote_dsm_still_functional () =
+  (* the whole GPU workflow works across the simulated DSM link *)
+  let _m, env = gpu_paradice ~config:Paradice.Config.remote_dsm () in
+  let t = Workloads.Opencl_matmul.run env ~verify:true ~order:6 () in
+  Alcotest.(check bool) "verified matmul over DSM transport" true (t > 0.)
+
+let test_macro_only_breaks_nested_ioctls () =
+  let cfg =
+    { Paradice.Config.default with
+      Paradice.Config.ioctl_id_mode = Paradice.Config.Macro_only }
+  in
+  let _m, env = gpu_paradice ~config:cfg () in
+  Workloads.Runner.run_to_completion env (fun () ->
+      let task = Workloads.Runner.spawn_app env ~name:"gl" in
+      let fd = Workloads.Gem.open_gpu env task in
+      (* simple macro-encoded ioctls still work *)
+      let bo =
+        Workloads.Gem.create env task fd ~size:4096
+          ~domain:Devices.Radeon_ioctl.domain_gtt
+      in
+      Alcotest.(check bool) "gem_create fine under macros" true (bo.Workloads.Gem.handle > 0);
+      (* nested-copy CS must be rejected by the hypervisor *)
+      Alcotest.(check bool) "cs fails without the analyzer" true
+        (match
+           Workloads.Gem.submit_cs env task fd
+             ~ib_words:[ Devices.Radeon_ioctl.pkt_draw; 10; 64; 64; 1; 0 ]
+             ~relocs:[| bo |]
+         with
+        | _ -> false
+        | exception Workloads.Runner.Syscall_failed (Oskit.Errno.EFAULT, _) -> true))
+
+let test_channel_pool_prevents_stall () =
+  let cfg = { Paradice.Config.default with Paradice.Config.channels_per_guest = 2 } in
+  let _m, env = Setup.make ~devices:[ Setup.Mouse; Setup.Null ] (Setup.Paradice cfg) in
+  let completed = ref false in
+  Workloads.Runner.spawn env (fun () ->
+      let task = Workloads.Runner.spawn_app env ~name:"blocked" in
+      let fd = Workloads.Runner.openf env task "/dev/input/event0" in
+      let buf = Oskit.Task.alloc_buf task 64 in
+      ignore (Oskit.Vfs.read env.Workloads.Runner.kernel task fd ~buf ~len:64));
+  Workloads.Runner.spawn env (fun () ->
+      Sim.Engine.wait 100.;
+      let task = Workloads.Runner.spawn_app env ~name:"noop" in
+      let fd = Workloads.Runner.openf env task "/dev/null0" in
+      let (_ : int) =
+        Workloads.Runner.ioctl env task fd ~cmd:Paradice.Machine.null_ioctl ~arg:0L
+      in
+      completed := true);
+  Sim.Engine.run ~until:1_000_000. (Workloads.Runner.engine env);
+  Alcotest.(check bool) "second file usable while read blocks" true !completed
+
+
+let scheduling_victim_latency ~fair =
+  (* guest 1 floods the GPU with many frames; guest 2 submits one
+     small job and measures how long it waits *)
+  let machine, _env =
+    Setup.make ~devices:[ Setup.Gpu ] ~extra_guests:1
+      (Setup.Paradice Paradice.Config.default)
+  in
+  let att = Option.get machine.Paradice.Machine.gpu in
+  Devices.Radeon_drv.set_fair_scheduling att.Paradice.Machine.radeon fair;
+  let guests = Paradice.Machine.guests machine in
+  let flooder = List.nth guests 0 and victim = List.nth guests 1 in
+  let env_f = Workloads.Runner.of_guest ~label:"flooder" machine flooder in
+  let env_v = Workloads.Runner.of_guest ~label:"victim" machine victim in
+  let latency = ref nan in
+  Workloads.Runner.spawn env_f (fun () ->
+      let task = Workloads.Runner.spawn_app env_f ~name:"flood" in
+      let fd = Workloads.Gem.open_gpu env_f task in
+      let bo =
+        Workloads.Gem.create env_f task fd ~size:4096
+          ~domain:Devices.Radeon_ioctl.domain_gtt
+      in
+      (* 40 expensive frames in one submission burst *)
+      let ib =
+        List.concat
+          (List.init 40 (fun _ ->
+               [ Devices.Radeon_ioctl.pkt_draw; 30000; 1280; 1024; 1; 0 ]))
+      in
+      let (_ : int) = Workloads.Gem.submit_cs env_f task fd ~ib_words:ib ~relocs:[| bo |] in
+      Workloads.Gem.wait_idle env_f task fd);
+  Workloads.Runner.spawn env_v (fun () ->
+      Sim.Engine.wait 2_000.;
+      (* after the flood is queued *)
+      let task = Workloads.Runner.spawn_app env_v ~name:"small" in
+      let fd = Workloads.Gem.open_gpu env_v task in
+      let bo =
+        Workloads.Gem.create env_v task fd ~size:4096
+          ~domain:Devices.Radeon_ioctl.domain_gtt
+      in
+      let t0 = Workloads.Runner.now_us env_v in
+      let ib = [ Devices.Radeon_ioctl.pkt_draw; 100; 320; 200; 1; 0 ] in
+      let (_ : int) = Workloads.Gem.submit_cs env_v task fd ~ib_words:ib ~relocs:[| bo |] in
+      Workloads.Gem.wait_idle env_v task fd;
+      latency := Workloads.Runner.now_us env_v -. t0);
+  Workloads.Runner.run env_v;
+  !latency
+
+let test_fair_scheduling_bounds_victim_latency () =
+  let fifo = scheduling_victim_latency ~fair:false in
+  let fair = scheduling_victim_latency ~fair:true in
+  (* one flood frame ~= 30000*0.3 + 1.3M*0.006 us ~= 17 ms; FIFO makes
+     the victim wait behind all ~40 of them, Fair behind ~1 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "FIFO starves the victim (%.0fus)" fifo)
+    true (fifo > 200_000.);
+  Alcotest.(check bool)
+    (Printf.sprintf "Fair bounds the wait (%.0fus vs %.0fus)" fair fifo)
+    true
+    (fair < fifo /. 5.)
+
+let suites =
+  [
+    ( "extensions.vsync",
+      [
+        Alcotest.test_case "caps fps at 60" `Quick test_vsync_caps_fps;
+        Alcotest.test_case "no effect below cap" `Quick test_vsync_no_effect_below_cap;
+      ] );
+    ( "extensions.recovery",
+      [
+        Alcotest.test_case "wedge detection + reset" `Quick test_wedge_detection_and_recovery;
+        Alcotest.test_case "command-streamer protection" `Quick test_command_streamer_protection;
+        Alcotest.test_case "victim survives attacker wedge" `Quick test_victim_unaffected_after_attacker_wedge;
+      ] );
+    ( "extensions.scheduling",
+      [
+        Alcotest.test_case "fair scheduling bounds victim latency" `Quick
+          test_fair_scheduling_bounds_victim_latency;
+      ] );
+    ( "extensions.dsm",
+      [
+        Alcotest.test_case "remote latency" `Quick test_remote_dsm_latency;
+        Alcotest.test_case "functional over dsm" `Quick test_remote_dsm_still_functional;
+      ] );
+    ( "extensions.ablation",
+      [
+        Alcotest.test_case "macro-only breaks nested ioctls" `Quick test_macro_only_breaks_nested_ioctls;
+        Alcotest.test_case "channel pool prevents stall" `Quick test_channel_pool_prevents_stall;
+      ] );
+  ]

@@ -1,0 +1,335 @@
+(* Tests for the discrete-event simulation core. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_empty_run () =
+  let eng = Sim.Engine.create () in
+  Sim.Engine.run eng;
+  check_float "time stays at zero" 0. (Sim.Engine.now eng)
+
+let test_wait_advances_time () =
+  let eng = Sim.Engine.create () in
+  let finished = ref 0. in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.wait 10.;
+      Sim.Engine.wait 5.;
+      finished := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  check_float "waits accumulate" 15. !finished;
+  check_float "engine time" 15. (Sim.Engine.now eng)
+
+let test_spawn_does_not_preempt () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.spawn eng (fun () ->
+      log := "a1" :: !log;
+      Sim.Engine.spawn eng (fun () -> log := "b" :: !log);
+      log := "a2" :: !log);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "spawner runs to its next yield first"
+    [ "a1"; "a2"; "b" ] (List.rev !log)
+
+let test_event_ordering_deterministic () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  let p name delay =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.wait delay;
+        log := name :: !log)
+  in
+  p "late" 10.;
+  p "early" 1.;
+  p "tie1" 5.;
+  p "tie2" 5.;
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "time order, FIFO on ties"
+    [ "early"; "tie1"; "tie2"; "late" ] (List.rev !log)
+
+let test_run_until () =
+  let eng = Sim.Engine.create () in
+  let hits = ref 0 in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.wait 10.;
+      incr hits;
+      Sim.Engine.wait 10.;
+      incr hits);
+  Sim.Engine.run ~until:15. eng;
+  Alcotest.(check int) "only first event ran" 1 !hits;
+  check_float "clock stops at limit" 15. (Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "remaining events run on resume" 2 !hits;
+  check_float "clock advances" 20. (Sim.Engine.now eng)
+
+let test_suspend_wake () =
+  let eng = Sim.Engine.create () in
+  let waker_cell = ref None in
+  let got = ref 0 in
+  Sim.Engine.spawn eng (fun () ->
+      let v = Sim.Engine.suspend (fun waker -> waker_cell := Some waker) in
+      got := v);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.wait 3.;
+      match !waker_cell with Some w -> w 42 | None -> Alcotest.fail "no waker");
+  Sim.Engine.run eng;
+  Alcotest.(check int) "value delivered" 42 !got;
+  check_float "woke at waker time" 3. (Sim.Engine.now eng)
+
+let test_suspend_waker_idempotent () =
+  let eng = Sim.Engine.create () in
+  let resumes = ref 0 in
+  Sim.Engine.spawn eng (fun () ->
+      let _v =
+        Sim.Engine.suspend (fun waker ->
+            Sim.Engine.at eng ~delay:1. (fun () -> waker 1);
+            Sim.Engine.at eng ~delay:2. (fun () -> waker 2))
+      in
+      incr resumes);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "resumed exactly once" 1 !resumes
+
+let test_suspend_timeout_fires () =
+  let eng = Sim.Engine.create () in
+  let result = ref (Some 0) in
+  Sim.Engine.spawn eng (fun () ->
+      result := Sim.Engine.suspend_timeout eng ~timeout:5. (fun _waker -> ()));
+  Sim.Engine.run eng;
+  Alcotest.(check (option int)) "timed out" None !result;
+  check_float "timeout consumed simulated time" 5. (Sim.Engine.now eng)
+
+let test_suspend_timeout_won_by_waker () =
+  let eng = Sim.Engine.create () in
+  let result = ref None and woke_at = ref nan in
+  Sim.Engine.spawn eng (fun () ->
+      result :=
+        Sim.Engine.suspend_timeout eng ~timeout:5. (fun waker ->
+            Sim.Engine.at eng ~delay:2. (fun () -> waker (Some 7)));
+      woke_at := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  Alcotest.(check (option int)) "waker won" (Some 7) !result;
+  (* The disarmed timer still pops (and is ignored) at t=5, but the
+     process itself resumed at t=2. *)
+  check_float "woke before timeout" 2. !woke_at
+
+let test_deadlock_detection () =
+  let eng = Sim.Engine.create () in
+  Sim.Engine.spawn eng (fun () ->
+      let (_ : int) = Sim.Engine.suspend (fun _waker -> ()) in
+      ());
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "stuck process detected" true (Sim.Engine.deadlocked eng)
+
+let test_mailbox_fifo () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create eng in
+  let got = ref [] in
+  Sim.Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Sim.Mailbox.recv mb :: !got
+      done);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Mailbox.send mb 1;
+      Sim.Engine.wait 1.;
+      Sim.Mailbox.send mb 2;
+      Sim.Mailbox.send mb 3);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "messages in order" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_buffers_when_no_receiver () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create eng in
+  Sim.Mailbox.send mb "x";
+  Sim.Mailbox.send mb "y";
+  let got = ref [] in
+  Sim.Engine.spawn eng (fun () ->
+      let first = Sim.Mailbox.recv mb in
+      let second = Sim.Mailbox.recv mb in
+      got := [ first; second ]);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "buffered sends" [ "x"; "y" ] !got
+
+let test_mailbox_recv_timeout () =
+  let eng = Sim.Engine.create () in
+  let mb : int Sim.Mailbox.t = Sim.Mailbox.create eng in
+  let first = ref (Some 0) and second = ref None in
+  Sim.Engine.spawn eng (fun () ->
+      first := Sim.Mailbox.recv_timeout mb ~timeout:5.;
+      second := Sim.Mailbox.recv_timeout mb ~timeout:100.);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.wait 20.;
+      Sim.Mailbox.send mb 9);
+  Sim.Engine.run eng;
+  Alcotest.(check (option int)) "first recv timed out" None !first;
+  Alcotest.(check (option int)) "second recv got message" (Some 9) !second
+
+let test_mailbox_dead_waiter_redispatch () =
+  (* A timed-out waiter must not swallow a message while a live waiter
+     is blocked behind it. *)
+  let eng = Sim.Engine.create () in
+  let mb : int Sim.Mailbox.t = Sim.Mailbox.create eng in
+  let live_got = ref None in
+  Sim.Engine.spawn eng (fun () ->
+      (* becomes the dead waiter *)
+      ignore (Sim.Mailbox.recv_timeout mb ~timeout:1.);
+      Sim.Engine.wait 1000.);
+  Sim.Engine.spawn eng (fun () ->
+      (* blocks behind the dead waiter, forever-patient *)
+      live_got := Some (Sim.Mailbox.recv mb));
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.wait 10.;
+      Sim.Mailbox.send mb 5);
+  Sim.Engine.run eng;
+  Alcotest.(check (option int)) "live waiter got the message" (Some 5) !live_got
+
+let test_semaphore_mutual_exclusion () =
+  let eng = Sim.Engine.create () in
+  let sem = Sim.Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 and completed = ref 0 in
+  for _ = 1 to 5 do
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Semaphore.with_resource sem (fun () ->
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Sim.Engine.wait 10.;
+            decr inside);
+        incr completed)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "never more than one inside" 1 !max_inside;
+  Alcotest.(check int) "all completed" 5 !completed;
+  check_float "fully serialised" 50. (Sim.Engine.now eng)
+
+let test_semaphore_release_on_exception () =
+  let eng = Sim.Engine.create () in
+  let sem = Sim.Semaphore.create 1 in
+  let ok = ref false in
+  Sim.Engine.spawn eng (fun () ->
+      (try Sim.Semaphore.with_resource sem (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Sim.Semaphore.with_resource sem (fun () -> ok := true));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "resource still usable" true !ok
+
+let test_semaphore_counting () =
+  let eng = Sim.Engine.create () in
+  let sem = Sim.Semaphore.create 2 in
+  let max_inside = ref 0 and inside = ref 0 in
+  for _ = 1 to 6 do
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Semaphore.with_resource sem (fun () ->
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Sim.Engine.wait 5.;
+            decr inside))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "two at a time" 2 !max_inside;
+  check_float "three rounds of two" 15. (Sim.Engine.now eng)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:42L and b = Sim.Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:42L in
+  let b = Sim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_stats () =
+  let s = Sim.Stats.create "t" in
+  List.iter (Sim.Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  check_float "mean" 3. (Sim.Stats.mean s);
+  check_float "min" 1. (Sim.Stats.min_value s);
+  check_float "max" 5. (Sim.Stats.max_value s);
+  check_float "median" 3. (Sim.Stats.median s);
+  Alcotest.(check int) "count" 5 (Sim.Stats.count s)
+
+(* Property tests *)
+
+let prop_heap_pops_sorted =
+  QCheck.Test.make ~name:"heap pops in (time, seq) order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.) unit))
+    (fun entries ->
+      let heap = Sim.Heap.create () in
+      List.iteri
+        (fun i (t, ()) -> Sim.Heap.push heap ~time:t ~seq:i (t, i))
+        entries;
+      let rec drain acc =
+        match Sim.Heap.pop heap with
+        | None -> List.rev acc
+        | Some e -> drain (e.Sim.Heap.value :: acc)
+      in
+      let out = drain [] in
+      let sorted = List.sort compare out in
+      out = sorted)
+
+let prop_engine_time_monotonic =
+  QCheck.Test.make ~name:"engine time is monotonic over random waits" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (float_bound_exclusive 100.))
+    (fun delays ->
+      let eng = Sim.Engine.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          Sim.Engine.spawn eng (fun () ->
+              Sim.Engine.wait d;
+              times := Sim.Engine.now eng :: !times))
+        delays;
+      Sim.Engine.run eng;
+      let observed = List.rev !times in
+      let rec monotonic = function
+        | a :: (b :: _ as rest) -> a <= b && monotonic rest
+        | _ -> true
+      in
+      monotonic observed)
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"stats mean lies within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let s = Sim.Stats.create "p" in
+      List.iter (Sim.Stats.add s) xs;
+      Sim.Stats.mean s >= Sim.Stats.min_value s -. 1e-6
+      && Sim.Stats.mean s <= Sim.Stats.max_value s +. 1e-6)
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "empty run" `Quick test_empty_run;
+        Alcotest.test_case "wait advances time" `Quick test_wait_advances_time;
+        Alcotest.test_case "spawn does not preempt" `Quick test_spawn_does_not_preempt;
+        Alcotest.test_case "deterministic ordering" `Quick test_event_ordering_deterministic;
+        Alcotest.test_case "run until" `Quick test_run_until;
+        Alcotest.test_case "suspend/wake" `Quick test_suspend_wake;
+        Alcotest.test_case "waker idempotent" `Quick test_suspend_waker_idempotent;
+        Alcotest.test_case "suspend timeout fires" `Quick test_suspend_timeout_fires;
+        Alcotest.test_case "suspend timeout won by waker" `Quick test_suspend_timeout_won_by_waker;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        QCheck_alcotest.to_alcotest prop_engine_time_monotonic;
+      ] );
+    ( "sim.mailbox",
+      [
+        Alcotest.test_case "fifo delivery" `Quick test_mailbox_fifo;
+        Alcotest.test_case "buffers without receiver" `Quick test_mailbox_buffers_when_no_receiver;
+        Alcotest.test_case "recv timeout" `Quick test_mailbox_recv_timeout;
+        Alcotest.test_case "dead waiter redispatch" `Quick test_mailbox_dead_waiter_redispatch;
+      ] );
+    ( "sim.semaphore",
+      [
+        Alcotest.test_case "mutual exclusion" `Quick test_semaphore_mutual_exclusion;
+        Alcotest.test_case "release on exception" `Quick test_semaphore_release_on_exception;
+        Alcotest.test_case "counting" `Quick test_semaphore_counting;
+      ] );
+    ( "sim.support",
+      [
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "stats" `Quick test_stats;
+        QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
+        QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
+      ] );
+  ]
