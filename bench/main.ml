@@ -20,6 +20,7 @@ let experiments =
     ("analyzer", Experiments.analyzer);
     ("isolation", Experiments.isolation);
     ("ablations", Experiments.ablations);
+    ("recovery", Experiments.recovery);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -31,7 +31,9 @@ let create channels ~cap =
 (** The designated channel for backend-to-frontend notifications. *)
 let notify_channel t = t.channels.(0)
 
-let rpc t bytes =
+let iter_channels t f = Array.iter f t.channels
+
+let rpc ?timeout_us t bytes =
   if t.pending >= t.cap then begin
     t.rejected_busy <- t.rejected_busy + 1;
     raise Busy
@@ -56,9 +58,16 @@ let rpc t bytes =
           let chan = pick 0 in
           Fun.protect
             ~finally:(fun () -> Sim.Semaphore.release (Channel.rpc_mutex chan))
-            (fun () -> Channel.rpc_locked chan bytes)))
+            (fun () -> Channel.rpc_locked ?timeout_us chan bytes)))
 
-type stats = { rpcs : int; legs : int; cold_legs : int; rejected_busy : int }
+type stats = {
+  rpcs : int;
+  legs : int;
+  cold_legs : int;
+  rejected_busy : int;
+  timeouts : int;
+  retries : int;
+}
 
 let stats t =
   let sum f = Array.fold_left (fun acc c -> acc + f (Channel.stats c)) 0 t.channels in
@@ -67,4 +76,6 @@ let stats t =
     legs = sum (fun s -> s.Channel.legs);
     cold_legs = sum (fun s -> s.Channel.cold_legs);
     rejected_busy = t.rejected_busy;
+    timeouts = sum (fun s -> s.Channel.timeouts);
+    retries = sum (fun s -> s.Channel.retries);
   }

@@ -12,9 +12,19 @@ val create : Channel.t array -> cap:int -> t
 (** The designated channel for backend-to-frontend notifications. *)
 val notify_channel : t -> Channel.t
 
-(** One request/response exchange over any idle channel. *)
-val rpc : t -> bytes -> bytes
+val iter_channels : t -> (Channel.t -> unit) -> unit
 
-type stats = { rpcs : int; legs : int; cold_legs : int; rejected_busy : int }
+(** One request/response exchange over any idle channel.  [timeout_us]
+    overrides the configured RPC deadline (see {!Channel.rpc_locked}). *)
+val rpc : ?timeout_us:float -> t -> bytes -> bytes
+
+type stats = {
+  rpcs : int;
+  legs : int;
+  cold_legs : int;
+  rejected_busy : int;
+  timeouts : int;
+  retries : int;
+}
 
 val stats : t -> stats

@@ -37,6 +37,12 @@ type t = {
   mutable notifications : int;
   mutable pending_notify : bool; (* signal collapsing: one interrupt pending *)
   mutable rejected_busy : int;
+  (* A killed channel (driver-VM crash) never completes an exchange
+     again: senders fail fast with EIO, blocked receivers are woken so
+     they can observe the death instead of hanging forever. *)
+  mutable dead : bool;
+  mutable timeouts : int;
+  mutable retries : int;
 }
 
 let req_off = 0
@@ -69,7 +75,42 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
     notifications = 0;
     pending_notify = false;
     rejected_busy = 0;
+    dead = false;
+    timeouts = 0;
+    retries = 0;
   }
+
+let is_dead t = t.dead
+
+(** Declare the channel dead (driver-VM crash).  With [poison] (the
+    default) every blocked party — the frontend waiting for a response,
+    backend workers waiting for requests, the notification dispatcher —
+    is woken exactly once so it can observe [dead] and bail out.  The
+    rpc mutex guarantees at most one in-flight response waiter, so one
+    wakeup per mailbox suffices.  [poison:false] models a silent crash:
+    nobody is woken and detection is left to RPC deadlines or the
+    frontend watchdog. *)
+let kill ?(poison = true) t =
+  if not t.dead then begin
+    t.dead <- true;
+    if poison then begin
+      Sim.Mailbox.send t.resp_rx ();
+      Sim.Mailbox.send t.req_rx ();
+      Sim.Mailbox.send t.notify_rx ()
+    end
+  end
+
+(* Deterministic fault sites (driven by [Config.injector]).  Keys are
+   stable strings so tests and experiments can arm them by name. *)
+let site_drop_req = "chan.drop_req"
+let site_drop_resp = "chan.drop_resp"
+let site_corrupt_req = "chan.corrupt_req"
+let site_delay_req = "chan.delay_req"
+
+let fault_fires t key =
+  match t.config.Config.injector with
+  | None -> false
+  | Some inj -> Sim.Fault_inject.fires inj ~key
 
 (* One signalling leg towards [rx] on [receiver] side: transfer
    latency, plus the cold surcharge when that receiver has been idle. *)
@@ -93,54 +134,127 @@ let marshal t = Sim.Engine.wait t.config.Config.marshal_us
 
 let rpc_mutex t = t.rpc_mutex
 
+let fail_dead () = Oskit.Errno.fail Oskit.Errno.EIO "channel dead: driver VM down"
+
+(* One request leg, with the injected transport faults applied:
+   corruption garbles the opcode byte in the shared page (the backend
+   must reject, not crash), delay adds latency, drop loses the leg
+   entirely (only a deadline can recover). *)
+let send_request t (req_bytes : bytes) =
+  marshal t;
+  let wire =
+    if fault_fires t site_corrupt_req then begin
+      let b = Bytes.copy req_bytes in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      b
+    end
+    else req_bytes
+  in
+  t.front_view.Hypervisor.Shared_page.write ~offset:req_off wire;
+  if fault_fires t site_delay_req then
+    Sim.Engine.wait t.config.Config.fault_delay_us;
+  if not (fault_fires t site_drop_req) then leg t ~receiver:`Back t.req_rx
+
 (** Frontend: send a request and wait for the response.  The caller
-    must hold [rpc_mutex] ({!Chan_pool} manages this). *)
-let rpc_locked t (req_bytes : bytes) : bytes =
+    must hold [rpc_mutex] ({!Chan_pool} manages this).
+
+    With a deadline ([timeout_us] override, else [Config.rpc_timeout_us];
+    0 = wait forever) an unanswered request is {e resent} up to
+    [Config.rpc_retries] times before the exchange fails with
+    ETIMEDOUT.  Retries give at-least-once semantics: a request whose
+    response (rather than the request itself) was lost executes twice,
+    so callers must only retry idempotent operations — which is why
+    deadlines are opt-in.  A channel killed mid-exchange fails with EIO
+    instead: the transport itself is gone. *)
+let rpc_locked ?timeout_us t (req_bytes : bytes) : bytes =
+  if t.dead then fail_dead ();
   t.rpcs <- t.rpcs + 1;
-  marshal t;
-  t.front_view.Hypervisor.Shared_page.write ~offset:req_off req_bytes;
-  leg t ~receiver:`Back t.req_rx;
-  let () = Sim.Mailbox.recv t.resp_rx in
-  marshal t;
-  t.front_view.Hypervisor.Shared_page.read ~offset:resp_off ~len:Proto.slot_size
+  let deadline =
+    match timeout_us with Some d -> d | None -> t.config.Config.rpc_timeout_us
+  in
+  let rec attempt tries_left =
+    send_request t req_bytes;
+    if t.dead then fail_dead ();
+    let got =
+      if deadline > 0. then Sim.Mailbox.recv_timeout t.resp_rx ~timeout:deadline
+      else Some (Sim.Mailbox.recv t.resp_rx)
+    in
+    if t.dead then fail_dead ();
+    match got with
+    | Some () ->
+        marshal t;
+        t.front_view.Hypervisor.Shared_page.read ~offset:resp_off
+          ~len:Proto.slot_size
+    | None ->
+        t.timeouts <- t.timeouts + 1;
+        if tries_left > 0 then begin
+          t.retries <- t.retries + 1;
+          attempt (tries_left - 1)
+        end
+        else
+          Oskit.Errno.fail Oskit.Errno.ETIMEDOUT
+            "rpc deadline exceeded after retries"
+  in
+  attempt (max 0 t.config.Config.rpc_retries)
 
 (** Standalone variant taking the mutex itself (tests, single-channel
     setups). *)
-let rpc t req_bytes =
-  Sim.Semaphore.with_resource t.rpc_mutex (fun () -> rpc_locked t req_bytes)
+let rpc ?timeout_us t req_bytes =
+  Sim.Semaphore.with_resource t.rpc_mutex (fun () ->
+      rpc_locked ?timeout_us t req_bytes)
 
-(** Backend: block for the next request. *)
-let next_request t : bytes =
-  let () = Sim.Mailbox.recv t.req_rx in
-  marshal t;
-  t.back_view.Hypervisor.Shared_page.read ~offset:req_off ~len:Proto.slot_size
+(** Backend: block for the next request; [None] once the channel is
+    dead (the worker should exit). *)
+let next_request t : bytes option =
+  if t.dead then None
+  else
+    let () = Sim.Mailbox.recv t.req_rx in
+    if t.dead then None
+    else begin
+      marshal t;
+      Some
+        (t.back_view.Hypervisor.Shared_page.read ~offset:req_off
+           ~len:Proto.slot_size)
+    end
 
-(** Backend: complete the pending request. *)
+(** Backend: complete the pending request.  Dropped silently on a dead
+    channel (a crashed driver VM answers nobody) or when the
+    response-drop fault fires. *)
 let respond t (resp_bytes : bytes) =
-  marshal t;
-  t.back_view.Hypervisor.Shared_page.write ~offset:resp_off resp_bytes;
-  leg t ~receiver:`Front t.resp_rx
+  if not t.dead then begin
+    marshal t;
+    t.back_view.Hypervisor.Shared_page.write ~offset:resp_off resp_bytes;
+    if not (fault_fires t site_drop_resp) then leg t ~receiver:`Front t.resp_rx
+  end
 
 (** Backend: asynchronous notification towards the frontend (§5.1's
     "message to the frontend, e.g., when the keyboard is pressed").
     Runs in callback context (no waits): marshal cost is folded into
     the leg. *)
 let notify t =
-  t.notifications <- t.notifications + 1;
-  let counter = t.back_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off in
-  t.back_view.Hypervisor.Shared_page.write_u32 ~offset:notify_off (counter + 1);
-  (* Signals collapse: while a notification interrupt is pending, new
-     events only bump the counter (like SIGIO, §2.1). *)
-  if not t.pending_notify then begin
-    t.pending_notify <- true;
-    leg t ~receiver:`Front t.notify_rx
+  if not t.dead then begin
+    t.notifications <- t.notifications + 1;
+    let counter = t.back_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off in
+    t.back_view.Hypervisor.Shared_page.write_u32 ~offset:notify_off (counter + 1);
+    (* Signals collapse: while a notification interrupt is pending, new
+       events only bump the counter (like SIGIO, §2.1). *)
+    if not t.pending_notify then begin
+      t.pending_notify <- true;
+      leg t ~receiver:`Front t.notify_rx
+    end
   end
 
-(** Frontend: block for the next notification. *)
+(** Frontend: block for the next notification; [None] once the channel
+    is dead (the dispatcher should exit). *)
 let next_notification t =
-  let () = Sim.Mailbox.recv t.notify_rx in
-  t.pending_notify <- false;
-  t.front_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off
+  if t.dead then None
+  else
+    let () = Sim.Mailbox.recv t.notify_rx in
+    if t.dead then None
+    else begin
+      t.pending_notify <- false;
+      Some (t.front_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off)
+    end
 
 type stats = {
   legs : int;
@@ -148,6 +262,8 @@ type stats = {
   rpcs : int;
   notifications : int;
   rejected_busy : int;
+  timeouts : int;
+  retries : int;
 }
 
 let stats (t : t) : stats =
@@ -157,4 +273,6 @@ let stats (t : t) : stats =
     rpcs = t.rpcs;
     notifications = t.notifications;
     rejected_busy = t.rejected_busy;
+    timeouts = t.timeouts;
+    retries = t.retries;
   }

@@ -15,15 +15,27 @@ val create :
 
 val rpc_mutex : t -> Sim.Semaphore.t
 
+(** Declare the channel dead (driver-VM crash).  [poison] (default
+    true) wakes every blocked party so it observes the death; false
+    models a silent crash detected only by deadlines/watchdog.
+    Idempotent; safe from engine callbacks. *)
+val kill : ?poison:bool -> t -> unit
+
+val is_dead : t -> bool
+
 (** Frontend: one request/response exchange.  [rpc_locked] requires
     the caller to hold {!rpc_mutex} (see {!Chan_pool}); [rpc] takes it
-    itself. *)
-val rpc_locked : t -> bytes -> bytes
+    itself.  [timeout_us] overrides [Config.rpc_timeout_us] (0 = wait
+    forever).  Raises EIO when the channel dies, ETIMEDOUT when the
+    deadline expires after [Config.rpc_retries] resends (at-least-once:
+    only retry idempotent operations under a deadline). *)
+val rpc_locked : ?timeout_us:float -> t -> bytes -> bytes
 
-val rpc : t -> bytes -> bytes
+val rpc : ?timeout_us:float -> t -> bytes -> bytes
 
-(** Backend: block for the next request / complete it. *)
-val next_request : t -> bytes
+(** Backend: block for the next request ([None] = channel dead, the
+    worker should exit) / complete it (dropped on a dead channel). *)
+val next_request : t -> bytes option
 
 val respond : t -> bytes -> unit
 
@@ -31,8 +43,17 @@ val respond : t -> bytes -> unit
     SIGIO).  Safe from engine callbacks. *)
 val notify : t -> unit
 
-(** Frontend: block for a notification; returns the event counter. *)
-val next_notification : t -> int
+(** Frontend: block for a notification; returns the event counter, or
+    [None] once the channel is dead. *)
+val next_notification : t -> int option
+
+(** Fault-site keys understood by this module (armed on the
+    [Config.injector]). *)
+val site_drop_req : string
+
+val site_drop_resp : string
+val site_corrupt_req : string
+val site_delay_req : string
 
 type stats = {
   legs : int;
@@ -40,6 +61,8 @@ type stats = {
   rpcs : int;
   notifications : int;
   rejected_busy : int;
+  timeouts : int;
+  retries : int;
 }
 
 val stats : t -> stats

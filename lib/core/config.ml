@@ -40,6 +40,21 @@ type t = {
   max_queued_ops : int; (* per-guest wait-queue cap, DoS protection (§5.1) *)
   channels_per_guest : int; (* parallel backend workers per guest, so a
                                 blocking read does not stall other files *)
+  (* -- fault containment & recovery (§4.1, §7.2) -- *)
+  rpc_timeout_us : float; (* per-attempt RPC deadline; 0 = block forever
+                              (blocking reads on quiet devices are
+                              legitimate, so deadlines are opt-in) *)
+  rpc_retries : int; (* resend attempts after a timed-out RPC before
+                         surfacing ETIMEDOUT (at-least-once semantics) *)
+  heartbeat_interval_us : float; (* frontend watchdog ping period; 0 = off *)
+  heartbeat_miss_limit : int; (* consecutive missed pings before the
+                                  driver VM is declared dead *)
+  poll_forward_chunk_us : float; (* bounded chunk a forwarded poll blocks
+                                     in the backend before re-asking *)
+  driver_reboot_us : float; (* driver-VM kill -> serving again (§7.2's
+                                "rebooted in seconds") *)
+  fault_delay_us : float; (* extra latency when the delay fault fires *)
+  injector : Sim.Fault_inject.t option; (* deterministic fault plan *)
   (* -- guest/OS costs -- *)
   sched_wake_us : float; (* waking a blocked application thread *)
   da_irq_extra_us : float; (* interrupt-injection overhead under device
@@ -66,6 +81,14 @@ let default =
     ioctl_id_mode = Analyzer_table;
     max_queued_ops = 100;
     channels_per_guest = 4;
+    rpc_timeout_us = 0.;
+    rpc_retries = 2;
+    heartbeat_interval_us = 0.;
+    heartbeat_miss_limit = 3;
+    poll_forward_chunk_us = 5_000.;
+    driver_reboot_us = 1_000_000.;
+    fault_delay_us = 50.;
+    injector = None;
     sched_wake_us = 38.4;
     da_irq_extra_us = 16.;
     input_delivery_us = 38.4;

@@ -24,6 +24,15 @@ type t = {
   ioctl_id_mode : ioctl_id_mode;
   max_queued_ops : int;
   channels_per_guest : int;
+  rpc_timeout_us : float;
+      (** per-attempt RPC deadline; 0 = block forever (default) *)
+  rpc_retries : int;  (** resends after a timeout before ETIMEDOUT *)
+  heartbeat_interval_us : float;  (** watchdog ping period; 0 = off *)
+  heartbeat_miss_limit : int;  (** missed pings before declaring death *)
+  poll_forward_chunk_us : float;  (** backend blocking chunk per poll RPC *)
+  driver_reboot_us : float;  (** driver-VM kill -> serving again *)
+  fault_delay_us : float;  (** extra latency when the delay fault fires *)
+  injector : Sim.Fault_inject.t option;  (** deterministic fault plan *)
   sched_wake_us : float;
   da_irq_extra_us : float;
   input_delivery_us : float;

@@ -30,17 +30,38 @@ type t = {
   policy : Policy.t; (* sharing policy (input -> foreground guest only) *)
   mutable exports : string list; (* device paths guests may open *)
   mutable links : guest_link list;
+  mutable killed : bool; (* driver VM crashed: serve nothing more *)
 }
 
 let create ~kernel ~hyp ~config ~policy =
-  { kernel; hyp; config; policy; exports = []; links = [] }
+  { kernel; hyp; config; policy; exports = []; links = []; killed = false }
 
 let export t path =
   if not (List.mem path t.exports) then t.exports <- path :: t.exports
 
 let exports t = t.exports
+let is_killed t = t.killed
+
+(** The driver VM crashed: stop serving.  With [poison] (default) every
+    channel of every link is killed, waking blocked frontends and
+    workers so they observe the death.  [poison:false] models a silent
+    death: the channels stay up but requests vanish unanswered (workers
+    drop them and exit), so only RPC deadlines or the frontend watchdog
+    can detect it.  Safe from engine callbacks ({!Channel.kill} is). *)
+let kill ?(poison = true) t =
+  if not t.killed then begin
+    t.killed <- true;
+    if poison then
+      List.iter
+        (fun link -> Chan_pool.iter_channels link.pool Channel.kill)
+        t.links
+  end
 
 let link_stats link = (link.ops_served, Chan_pool.stats link.pool)
+
+(* Fault-site keys (armed on [Config.injector]). *)
+let site_wedge = "back.wedge"
+let site_crash = "cvd.crash"
 
 let find_file link vfd =
   match Hashtbl.find_opt link.files vfd with
@@ -246,11 +267,30 @@ let connect t ~guest_vm =
           if Policy.input_target t.policy (Hypervisor.Vm.id guest_vm) then
             Channel.notify (Chan_pool.notify_channel pool));
       Sim.Engine.spawn engine ~name:"cvd-backend" (fun () ->
+          let fires key =
+            match t.config.Config.injector with
+            | None -> false
+            | Some inj -> Sim.Fault_inject.fires inj ~key
+          in
           let rec loop () =
-            let bytes = Channel.next_request channel in
-            let resp = serve_one t link worker bytes in
-            Channel.respond channel (Proto.encode_response resp);
-            loop ()
+            match Channel.next_request channel with
+            | None -> () (* channel dead: worker exits *)
+            | Some _ when t.killed -> ()
+            | Some bytes ->
+                let resp = serve_one t link worker bytes in
+                (* "back.wedge": the worker hangs forever between
+                   executing the operation and answering — a stuck
+                   driver thread.  Only an RPC deadline recovers the
+                   frontend. *)
+                if fires site_wedge then Sim.Engine.suspend (fun _ -> ());
+                (* "cvd.crash": the driver VM dies right here, mid-RPC
+                   — the operation ran but its response is never sent.
+                   on_fire hooks (armed by Machine) perform the actual
+                   kill before we notice [killed] below. *)
+                if fires site_crash then ignore resp
+                else if not t.killed then
+                  Channel.respond channel (Proto.encode_response resp);
+                loop ()
           in
           loop ()))
     channels;

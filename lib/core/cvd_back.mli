@@ -29,6 +29,22 @@ val export : t -> string -> unit
 
 val exports : t -> string list
 val link_stats : guest_link -> int * Chan_pool.stats
+val is_killed : t -> bool
+
+(** The driver VM crashed: stop serving.  [poison] (default true)
+    kills every channel, waking blocked parties; false models a silent
+    death — channels stay up but requests vanish unanswered, leaving
+    detection to deadlines or the watchdog.  Safe from engine
+    callbacks. *)
+val kill : ?poison:bool -> t -> unit
+
+(** Fault-site keys understood by the backend workers: ["back.wedge"]
+    hangs a worker between execute and respond; ["cvd.crash"] models a
+    mid-RPC driver-VM death (arm an [on_fire] hook to perform the
+    kill). *)
+val site_wedge : string
+
+val site_crash : string
 
 (** Connect a guest: create its channel pool and workers, start
     serving. *)

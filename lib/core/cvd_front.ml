@@ -10,20 +10,138 @@
 
 open Oskit
 
+type session = Healthy | Faulted
+
+type fault_stats = {
+  sessions_faulted : int;
+  grants_revoked : int;
+  mappings_torn : int;
+  heartbeat_misses : int;
+  last_faulted_at : float;
+  last_teardown_us : float;
+}
+
 type t = {
   kernel : Kernel.t; (* the guest's kernel *)
   hyp : Hypervisor.Hyp.t;
   guest_vm : Hypervisor.Vm.t;
-  pool : Chan_pool.t;
+  mutable pool : Chan_pool.t; (* replaced on reattach after a reboot *)
   grant_table : Hypervisor.Grant_table.t;
   config : Config.t;
   (* analyzer output per device class, keyed by devfs path *)
   entries : (string, Analyzer.Extract.t) Hashtbl.t;
   vfds : (int, int) Hashtbl.t; (* guest file_id -> backend vfd *)
+  (* guest files whose backend session died under them: their vfds are
+     meaningless, operations fail ENODEV until the file is reopened *)
+  stale_vfds : (int, unit) Hashtbl.t;
   mutable fasync_files : Defs.file list; (* forward notifications here *)
+  mutable session : session;
   mutable ops_forwarded : int;
   mutable jit_evaluations : int;
+  mutable hb_stop : bool; (* watchdog shutdown flag *)
+  mutable fstats : fault_stats;
 }
+
+let stats t = (t.ops_forwarded, t.jit_evaluations, Chan_pool.stats t.pool)
+let session t = t.session
+let fault_stats t = t.fstats
+
+(* The notification dispatcher: deliver backend messages as SIGIO on
+   the guest's subscribed virtual files.  One dispatcher per attached
+   pool; it exits when its channel dies (driver-VM crash) and a fresh
+   one is spawned on reattach. *)
+let spawn_notify_dispatcher t pool =
+  Sim.Engine.spawn (Kernel.engine t.kernel) ~name:"cvd-frontend-notify" (fun () ->
+      let chan = Chan_pool.notify_channel pool in
+      let rec loop () =
+        match Channel.next_notification chan with
+        | None -> () (* channel dead: dispatcher exits *)
+        | Some _ ->
+            List.iter Vfs.kill_fasync t.fasync_files;
+            loop ()
+      in
+      loop ())
+
+(** Fault the session: the driver VM is dead (or presumed so).  All
+    open virtual files turn stale (operations fail ENODEV), every
+    outstanding grant is revoked and every hypervisor-installed
+    cross-VM mapping into this guest torn down — nothing the dead
+    driver VM held may remain usable (§4.1: driver-VM crashes must not
+    corrupt the guest).  Idempotent; process context. *)
+let fault_session t ~reason =
+  match t.session with
+  | Faulted -> ()
+  | Healthy ->
+      ignore reason;
+      t.session <- Faulted;
+      let began = Sim.Engine.now (Kernel.engine t.kernel) in
+      (* all open virtual files lose their backend descriptors *)
+      Hashtbl.iter (fun file_id _ -> Hashtbl.replace t.stale_vfds file_id ()) t.vfds;
+      Hashtbl.reset t.vfds;
+      t.fasync_files <- [];
+      let revoked = Hypervisor.Grant_table.revoke_all t.grant_table in
+      let torn = Hypervisor.Hyp.teardown_vm_mappings t.hyp ~target:t.guest_vm in
+      (* one hypercall per destroyed mapping plus the revoke sweep *)
+      Kernel.charge t.kernel
+        (float_of_int (1 + torn) *. t.config.Config.hypercall_us);
+      let finished = Sim.Engine.now (Kernel.engine t.kernel) in
+      t.fstats <-
+        {
+          t.fstats with
+          sessions_faulted = t.fstats.sessions_faulted + 1;
+          grants_revoked = t.fstats.grants_revoked + revoked;
+          mappings_torn = t.fstats.mappings_torn + torn;
+          last_faulted_at = began;
+          last_teardown_us = finished -. began;
+        }
+
+(** Re-establish a faulted session over a fresh channel pool (the
+    driver VM rebooted, §7.2).  Stale files stay stale — the guest
+    must reopen them — but new opens work immediately. *)
+let reattach t ~pool =
+  t.pool <- pool;
+  t.session <- Healthy;
+  spawn_notify_dispatcher t pool
+
+(* The watchdog: ping the backend with a no-op under a deadline; after
+   [heartbeat_miss_limit] consecutive misses (or a transport EIO,
+   which is definitive) declare the driver VM dead.  Idles while the
+   session is faulted and resumes once reattached. *)
+let heartbeat_request = Proto.encode_request ~grant_ref:0 ~pid:0 Proto.Rnoop
+
+let spawn_watchdog t =
+  let interval = t.config.Config.heartbeat_interval_us in
+  if interval > 0. then
+    Sim.Engine.spawn (Kernel.engine t.kernel) ~name:"cvd-watchdog" (fun () ->
+        let rec loop misses =
+          if not t.hb_stop then begin
+            Sim.Engine.wait interval;
+            if not t.hb_stop then
+              match t.session with
+              | Faulted -> loop 0
+              | Healthy -> (
+                  match Chan_pool.rpc ~timeout_us:interval t.pool heartbeat_request with
+                  | (_ : bytes) -> loop 0
+                  | exception Errno.Unix_error (Errno.EIO, _) ->
+                      fault_session t ~reason:"heartbeat: transport dead";
+                      loop 0
+                  | exception (Errno.Unix_error (Errno.ETIMEDOUT, _) | Chan_pool.Busy)
+                    ->
+                      t.fstats <-
+                        {
+                          t.fstats with
+                          heartbeat_misses = t.fstats.heartbeat_misses + 1;
+                        };
+                      if misses + 1 >= t.config.Config.heartbeat_miss_limit then begin
+                        fault_session t ~reason:"heartbeat: driver VM unresponsive";
+                        loop 0
+                      end
+                      else loop (misses + 1))
+          end
+        in
+        loop 0)
+
+let stop_watchdog t = t.hb_stop <- true
 
 let create ~kernel ~hyp ~guest_vm ~pool ~config =
   let grant_table = Hypervisor.Hyp.setup_grant_table hyp guest_vm in
@@ -37,23 +155,26 @@ let create ~kernel ~hyp ~guest_vm ~pool ~config =
       config;
       entries = Hashtbl.create 8;
       vfds = Hashtbl.create 16;
+      stale_vfds = Hashtbl.create 16;
       fasync_files = [];
+      session = Healthy;
       ops_forwarded = 0;
       jit_evaluations = 0;
+      hb_stop = false;
+      fstats =
+        {
+          sessions_faulted = 0;
+          grants_revoked = 0;
+          mappings_torn = 0;
+          heartbeat_misses = 0;
+          last_faulted_at = nan;
+          last_teardown_us = nan;
+        };
     }
   in
-  (* notification dispatcher: deliver backend messages as SIGIO on the
-     guest's subscribed virtual files *)
-  Sim.Engine.spawn (Kernel.engine kernel) ~name:"cvd-frontend-notify" (fun () ->
-      let rec loop () =
-        let (_ : int) = Channel.next_notification (Chan_pool.notify_channel pool) in
-        List.iter Vfs.kill_fasync t.fasync_files;
-        loop ()
-      in
-      loop ());
+  spawn_notify_dispatcher t pool;
+  spawn_watchdog t;
   t
-
-let stats t = (t.ops_forwarded, t.jit_evaluations, Chan_pool.stats t.pool)
 
 (* ---- grant management ---- *)
 
@@ -81,19 +202,34 @@ let errno_of_code code =
   match Errno.of_code code with Some e -> e | None -> Errno.EIO
 
 (** Forward one operation: declare, register the issuing process with
-    the hypervisor, rpc, release, decode. *)
+    the hypervisor, rpc, release, decode.
+
+    Error paths are kept distinct: a {e decoded} [Rerr] is the remote
+    driver failing an operation (normal; surfaced to the caller); a
+    {e raised} EIO is the transport itself dying mid-exchange, which
+    faults the whole session; ETIMEDOUT (deadline exhausted) surfaces
+    to the caller without faulting — one wedged worker is not a dead
+    driver VM, the watchdog decides that. *)
 let forward t (task : Defs.task) ~ops req : Proto.response =
+  if t.session = Faulted then
+    Errno.fail Errno.ENODEV "driver VM session faulted";
   t.ops_forwarded <- t.ops_forwarded + 1;
   Hypervisor.Hyp.register_process t.hyp t.guest_vm ~pid:task.Defs.pid
     ~pt:task.Defs.pt;
   let grant_ref = declare t ops in
   Fun.protect
-    ~finally:(fun () -> release t grant_ref)
+    ~finally:(fun () ->
+      (* after a transport death the table was already revoked wholesale *)
+      if t.session = Healthy then release t grant_ref)
     (fun () ->
       let resp_bytes =
         try Chan_pool.rpc t.pool (Proto.encode_request ~grant_ref ~pid:task.Defs.pid req)
-        with Chan_pool.Busy ->
-          Errno.fail Errno.EBUSY "per-guest operation cap reached"
+        with
+        | Chan_pool.Busy ->
+            Errno.fail Errno.EBUSY "per-guest operation cap reached"
+        | Errno.Unix_error (Errno.EIO, _) as e ->
+            fault_session t ~reason:"transport failure mid-operation";
+            raise e
       in
       Proto.decode_response resp_bytes)
 
@@ -103,9 +239,12 @@ let int_result = function
   | Proto.Rpoll_reply _ -> Errno.fail Errno.EIO "unexpected poll reply"
 
 let vfd_of t (file : Defs.file) =
-  match Hashtbl.find_opt t.vfds file.Defs.file_id with
-  | Some vfd -> vfd
-  | None -> Errno.fail Errno.EINVAL "virtual file has no backend descriptor"
+  if Hashtbl.mem t.stale_vfds file.Defs.file_id then
+    Errno.fail Errno.ENODEV "backend session died under this file"
+  else
+    match Hashtbl.find_opt t.vfds file.Defs.file_id with
+    | Some vfd -> vfd
+    | None -> Errno.fail Errno.EINVAL "virtual file has no backend descriptor"
 
 (* ---- ioctl memory-operation identification (§4.1) ---- *)
 
@@ -153,10 +292,19 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
           Hashtbl.replace t.vfds file.Defs.file_id vfd);
       fop_release =
         (fun task file ->
-          let vfd = vfd_of t file in
-          Hashtbl.remove t.vfds file.Defs.file_id;
-          t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files;
-          ignore (remote_fail (forward t task ~ops:[] (Proto.Rrelease { vfd }))));
+          if Hashtbl.mem t.stale_vfds file.Defs.file_id then begin
+            (* the backend died under this file: nothing to tell a dead
+               (or rebooted and amnesiac) driver VM, clean up locally
+               so close() succeeds and the slot is reusable *)
+            Hashtbl.remove t.stale_vfds file.Defs.file_id;
+            t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files
+          end
+          else begin
+            let vfd = vfd_of t file in
+            Hashtbl.remove t.vfds file.Defs.file_id;
+            t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files;
+            ignore (remote_fail (forward t task ~ops:[] (Proto.Rrelease { vfd })))
+          end);
       fop_read =
         (fun task file ~buf ~len ->
           let ops = [ Hypervisor.Grant_table.Copy_to_user { addr = buf; len } ] in
@@ -213,7 +361,12 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
             match
               forward t task ~ops:[]
                 (Proto.Rpoll
-                   { vfd; want_in = true; want_out = true; timeout_us = 5_000. })
+                   {
+                     vfd;
+                     want_in = true;
+                     want_out = true;
+                     timeout_us = t.config.Config.poll_forward_chunk_us;
+                   })
             with
             | Proto.Rpoll_reply { pollin; pollout } ->
                 if pollin || pollout then { Defs.pollin; pollout; poll_wq = None }

@@ -5,6 +5,21 @@
 
 type t
 
+type session = Healthy | Faulted
+
+type fault_stats = {
+  sessions_faulted : int;
+  grants_revoked : int;
+  mappings_torn : int;
+  heartbeat_misses : int;
+  last_faulted_at : float;  (** sim time of the last fault; nan if none *)
+  last_teardown_us : float;  (** revoke+teardown duration; nan if none *)
+}
+
+(** Also spawns the notification dispatcher, and — when
+    [Config.heartbeat_interval_us > 0] — the watchdog that pings the
+    backend and faults the session after
+    [Config.heartbeat_miss_limit] consecutive misses. *)
 val create :
   kernel:Oskit.Kernel.t ->
   hyp:Hypervisor.Hyp.t ->
@@ -15,6 +30,23 @@ val create :
 
 (** (operations forwarded, JIT slice evaluations, transport stats) *)
 val stats : t -> int * int * Chan_pool.stats
+
+val session : t -> session
+val fault_stats : t -> fault_stats
+
+(** Declare the driver VM dead: stale all open virtual files (their
+    operations fail ENODEV), revoke every grant, tear down every
+    hypervisor-installed mapping into this guest.  Idempotent; must run
+    in process context (it charges teardown hypercalls). *)
+val fault_session : t -> reason:string -> unit
+
+(** Re-establish a faulted session over a fresh pool (driver-VM
+    reboot, §7.2).  Stale files must be reopened; new opens work
+    immediately. *)
+val reattach : t -> pool:Chan_pool.t -> unit
+
+(** Stop the heartbeat watchdog (lets [Engine.run] drain). *)
+val stop_watchdog : t -> unit
 
 (** Create the virtual device file for an exported device.  [entries]
     is the analyzer's table for ioctl-heavy classes; [kinds] must all

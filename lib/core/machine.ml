@@ -21,7 +21,7 @@ type guest = {
   vm : Hypervisor.Vm.t;
   kernel : Kernel.t;
   frontend : Cvd_front.t;
-  link : Cvd_back.guest_link;
+  mutable link : Cvd_back.guest_link; (* replaced on driver-VM reboot *)
   pci : Virt_pci.t;
 }
 
@@ -50,9 +50,15 @@ type t = {
   engine : Sim.Engine.t;
   phys : Memory.Phys_mem.t;
   hyp : Hypervisor.Hyp.t;
-  driver_vm : Hypervisor.Vm.t;
-  driver_kernel : Kernel.t;
-  backend : Cvd_back.t;
+  (* the driver VM is replaceable: a crash kills it, a reboot builds a
+     fresh VM + kernel + backend in its place (§7.2) *)
+  mutable driver_vm : Hypervisor.Vm.t;
+  mutable driver_kernel : Kernel.t;
+  mutable backend : Cvd_back.t;
+  driver_mem_mib : int;
+  driver_flavor : Os_flavor.t;
+  mutable driver_generation : int;
+  mutable last_killed_at : float;
   policy : Policy.t;
   mutable exports : export_record list;
   mutable guests : guest list;
@@ -65,6 +71,21 @@ type t = {
 }
 
 let mib = 1024 * 1024
+
+(** Kill the current driver VM: the hypervisor rejects its memory
+    operations from now on and the backend stops serving.  [poison]
+    (default true) wakes everyone blocked on its channels; false models
+    a silent death only deadlines or the watchdog detect.  Idempotent;
+    safe from engine callbacks. *)
+let kill_driver_vm ?(poison = true) t =
+  if not (Cvd_back.is_killed t.backend) then begin
+    t.last_killed_at <- Sim.Engine.now t.engine;
+    Hypervisor.Hyp.kill_vm t.hyp t.driver_vm;
+    Cvd_back.kill ~poison t.backend
+  end
+
+let last_killed_at t = t.last_killed_at
+let driver_generation t = t.driver_generation
 
 let create ?(mode = Paradice) ?(config = Config.default) ?(driver_mem_mib = 256)
     ?(flavor = Os_flavor.Linux_3_2_0) () =
@@ -79,25 +100,39 @@ let create ?(mode = Paradice) ?(config = Config.default) ?(driver_mem_mib = 256)
   let driver_kernel = Kernel.create ~engine ~vm:driver_vm ~flavor () in
   let policy = Policy.create () in
   let backend = Cvd_back.create ~kernel:driver_kernel ~hyp ~config ~policy in
-  {
-    mode;
-    config;
-    engine;
-    phys;
-    hyp;
-    driver_vm;
-    driver_kernel;
-    backend;
-    policy;
-    exports = [];
-    guests = [];
-    gpu = None;
-    mouse = None;
-    keyboard = None;
-    camera = None;
-    audio = None;
-    netmap = None;
-  }
+  let t =
+    {
+      mode;
+      config;
+      engine;
+      phys;
+      hyp;
+      driver_vm;
+      driver_kernel;
+      backend;
+      driver_mem_mib;
+      driver_flavor = flavor;
+      driver_generation = 0;
+      last_killed_at = nan;
+      policy;
+      exports = [];
+      guests = [];
+      gpu = None;
+      mouse = None;
+      keyboard = None;
+      camera = None;
+      audio = None;
+      netmap = None;
+    }
+  in
+  (* arm the mid-RPC crash site: when "cvd.crash" fires in a backend
+     worker, the driver VM actually dies *)
+  (match config.Config.injector with
+  | Some inj ->
+      Sim.Fault_inject.on_fire inj ~key:Cvd_back.site_crash (fun () ->
+          kill_driver_vm t)
+  | None -> ());
+  t
 
 let engine t = t.engine
 let hyp t = t.hyp
@@ -168,6 +203,56 @@ let register_export t e =
   Cvd_back.export t.backend e.path;
   t.exports <- e :: t.exports;
   List.iter (fun g -> install_export g e) t.guests
+
+(* ------------------------------------------------------------------ *)
+(* Driver-VM crash recovery (§7.2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Reboot a killed driver VM: after [Config.driver_reboot_us] of
+    simulated boot time, a fresh VM/kernel/backend takes over, the
+    driver re-probes its devices (each export reappears in the new
+    devfs with no openers), and every guest is reconnected over a
+    fresh channel pool.  Guests' previously-open virtual files stay
+    stale — applications must reopen them — but new opens succeed
+    immediately.  Process context. *)
+let reboot_driver_vm t =
+  if not (Cvd_back.is_killed t.backend) then
+    invalid_arg "Machine.reboot_driver_vm: driver VM is not dead";
+  if t.config.Config.driver_reboot_us > 0. then
+    Sim.Engine.wait t.config.Config.driver_reboot_us;
+  t.driver_generation <- t.driver_generation + 1;
+  let old_devfs = Kernel.devfs t.driver_kernel in
+  let vm =
+    Hypervisor.Hyp.create_vm t.hyp
+      ~name:(Printf.sprintf "driver-vm-%d" t.driver_generation)
+      ~kind:Hypervisor.Vm.Driver
+      ~mem_bytes:(t.driver_mem_mib * mib)
+  in
+  let kernel = Kernel.create ~engine:t.engine ~vm ~flavor:t.driver_flavor () in
+  let backend = Cvd_back.create ~kernel ~hyp:t.hyp ~config:t.config ~policy:t.policy in
+  t.driver_vm <- vm;
+  t.driver_kernel <- kernel;
+  t.backend <- backend;
+  (* the rebooted driver re-probes its hardware: the same device models
+     reappear in the fresh devfs, with every driver-side open gone *)
+  List.iter
+    (fun e ->
+      (match Devfs.lookup old_devfs e.path with
+      | Some dev ->
+          dev.Defs.open_count <- 0;
+          Devfs.register (Kernel.devfs kernel) dev
+      | None -> ());
+      Cvd_back.export backend e.path)
+    (List.rev t.exports);
+  (* reconnect every guest: fresh pool and workers, frontend faulted
+     (in case it had not yet noticed a silent death) then reattached *)
+  List.iter
+    (fun g ->
+      let link = Cvd_back.connect backend ~guest_vm:g.vm in
+      g.link <- link;
+      Cvd_front.fault_session g.frontend ~reason:"driver VM rebooted";
+      Cvd_front.reattach g.frontend ~pool:link.Cvd_back.pool)
+    t.guests
 
 (* ------------------------------------------------------------------ *)
 (* Device attachment                                                   *)

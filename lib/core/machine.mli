@@ -9,7 +9,7 @@ type guest = {
   vm : Hypervisor.Vm.t;
   kernel : Oskit.Kernel.t;
   frontend : Cvd_front.t;
-  link : Cvd_back.guest_link;
+  mutable link : Cvd_back.guest_link;  (** replaced on driver-VM reboot *)
   pci : Virt_pci.t;
 }
 
@@ -37,9 +37,13 @@ type t = {
   engine : Sim.Engine.t;
   phys : Memory.Phys_mem.t;
   hyp : Hypervisor.Hyp.t;
-  driver_vm : Hypervisor.Vm.t;
-  driver_kernel : Oskit.Kernel.t;
-  backend : Cvd_back.t;
+  mutable driver_vm : Hypervisor.Vm.t;
+  mutable driver_kernel : Oskit.Kernel.t;
+  mutable backend : Cvd_back.t;
+  driver_mem_mib : int;
+  driver_flavor : Oskit.Os_flavor.t;
+  mutable driver_generation : int;
+  mutable last_killed_at : float;
   policy : Policy.t;
   mutable exports : export_record list;
   mutable guests : guest list;
@@ -79,6 +83,29 @@ val app_kernel : t -> Oskit.Kernel.t
 (** Spawn an application task, registered with the hypervisor so
     forwarded operations can name its address space. *)
 val spawn_app : t -> Oskit.Kernel.t -> name:string -> Oskit.Defs.task
+
+(** {1 Driver-VM crash recovery (§7.2)}
+
+    [create] also arms the ["cvd.crash"] fault site on
+    [Config.injector], so a backend worker hitting it performs a real
+    mid-RPC kill. *)
+
+(** Kill the current driver VM (hypervisor rejects it, backend stops
+    serving).  [poison] (default true) wakes blocked parties; false is
+    a silent death.  Idempotent; safe from engine callbacks. *)
+val kill_driver_vm : ?poison:bool -> t -> unit
+
+(** Reboot a killed driver VM: boot delay, fresh VM/kernel/backend,
+    devices re-probed, every guest reconnected and its frontend
+    reattached.  Previously-open guest files stay stale; new opens
+    succeed.  Process context. *)
+val reboot_driver_vm : t -> unit
+
+val last_killed_at : t -> float
+(** Sim time of the last kill; nan if never killed. *)
+
+val driver_generation : t -> int
+(** Number of reboots so far. *)
 
 (** {1 Device attachment}
 

@@ -121,6 +121,28 @@ let release t grant_ref =
     invalid_arg "Grant_table.release: bad reference";
   go grant_ref
 
+(** Revoke every outstanding declaration at once (driver-VM crash
+    recovery: nothing the dead backend held may stay authorised).
+    Returns the number of entries cleared. *)
+let revoke_all t =
+  let cleared = ref 0 in
+  for slot = 0 to capacity - 1 do
+    if not (slot_free t.guest slot) then begin
+      t.guest.Shared_page.write_u32 ~offset:(slot * entry_size) 0;
+      incr cleared
+    end
+  done;
+  !cleared
+
+(** Outstanding (non-free) entries — 0 once every grant is released
+    or revoked. *)
+let active_entries t =
+  let n = ref 0 in
+  for slot = 0 to capacity - 1 do
+    if not (slot_free t.guest slot) then incr n
+  done;
+  !n
+
 (* ---- hypervisor side ---- *)
 
 (** All operations declared under [grant_ref] (hypervisor's view). *)

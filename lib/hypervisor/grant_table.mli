@@ -27,6 +27,13 @@ val declare : t -> op list -> int
 (** Frontend: free the group once the file operation completed. *)
 val release : t -> int -> unit
 
+(** Revoke every outstanding declaration (driver-VM crash recovery);
+    returns the number of entries cleared. *)
+val revoke_all : t -> int
+
+(** Outstanding (non-free) entries. *)
+val active_entries : t -> int
+
 (** Hypervisor: the operations declared under a reference. *)
 val lookup : t -> int -> op list
 

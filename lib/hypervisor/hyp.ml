@@ -73,12 +73,52 @@ let create_vm t ~name ~kind ~mem_bytes =
       gpa_alloc = Memory.Allocator.create ~base:0 ~size:mem_bytes;
       mem_bytes;
       grant_frame = None;
+      alive = true;
     }
   in
   t.vms <- vm :: t.vms;
   vm
 
 let find_vm t id = List.find_opt (fun vm -> Vm.id vm = id) t.vms
+
+(** Mark a VM dead (crash or explicit kill).  Its pending and future
+    memory-operation requests are rejected — crash containment: a dead
+    driver VM can no longer touch guest memory. *)
+let kill_vm t vm =
+  ignore t;
+  vm.Vm.alive <- false
+
+(** Tear down every cross-VM mapping installed into [target] by
+    {!map_page_into_process}: EPT entries are unmapped, the backing
+    guest-physical pages unreserved and — when the owning process page
+    table is still registered — the stale guest leaf cleared.  Called
+    when the driver VM dies, so the guest holds no mappings a rebooted
+    (or attacker-controlled) driver VM could reuse.  Returns the
+    number of mappings destroyed. *)
+let teardown_vm_mappings t ~target =
+  let vm_id = Vm.id target in
+  let doomed =
+    Hashtbl.fold
+      (fun ((id, _, _) as key) gpa acc ->
+        if id = vm_id then (key, gpa) :: acc else acc)
+      t.mmap_registry []
+  in
+  let pts =
+    Hashtbl.fold
+      (fun (id, _) pt acc -> if id = vm_id then pt :: acc else acc)
+      t.process_registry []
+  in
+  List.iter
+    (fun (((_, pt_id, gva) as key), gpa) ->
+      (match List.find_opt (fun pt -> Memory.Guest_pt.id pt = pt_id) pts with
+      | Some pt -> ignore (Memory.Guest_pt.unmap pt ~gva)
+      | None -> ());
+      ignore (Memory.Ept.unmap target.Vm.ept ~gpa);
+      Memory.Allocator.unreserve target.Vm.gpa_alloc gpa;
+      Hashtbl.remove t.mmap_registry key;
+      t.audit.Audit.unmaps_performed <- t.audit.Audit.unmaps_performed + 1)
+    doomed;
+  List.length doomed
 
 (* ---- grant tables ---- *)
 
@@ -127,6 +167,8 @@ let check_caller t req =
   t.audit.Audit.hypercalls <- t.audit.Audit.hypercalls + 1;
   if Vm.kind req.caller <> Vm.Driver then
     reject t "memory-operation API restricted to the driver VM";
+  if not (Vm.alive req.caller) then
+    reject t "memory-operation request from a dead driver VM";
   if Vm.id req.target = Vm.id req.caller then
     reject t "target must be a guest VM"
 

@@ -21,6 +21,16 @@ val create_vm : t -> name:string -> kind:Vm.kind -> mem_bytes:int -> Vm.t
 
 val find_vm : t -> int -> Vm.t option
 
+(** Mark a VM dead (crash or explicit kill): its memory-operation
+    requests are rejected from now on. *)
+val kill_vm : t -> Vm.t -> unit
+
+(** Destroy every cross-VM mapping installed into [target] via
+    {!map_page_into_process} (EPT unmap + guest-leaf clear + gpa
+    unreserve); returns how many were destroyed.  Part of crash
+    recovery: a rebooted driver VM must not inherit stale mappings. *)
+val teardown_vm_mappings : t -> target:Vm.t -> int
+
 (** {1 Grant tables} *)
 
 val setup_grant_table : t -> Vm.t -> Grant_table.t

@@ -17,6 +17,7 @@ type t = {
   gpa_alloc : Memory.Allocator.t;
   mem_bytes : int;
   mutable grant_frame : int option; (* spn of the registered grant table *)
+  mutable alive : bool; (* cleared when the VM crashes or is killed *)
 }
 
 let id t = t.id
@@ -24,6 +25,7 @@ let name t = t.name
 let kind t = t.kind
 let ept t = t.ept
 let phys t = t.phys
+let alive t = t.alive
 
 (** CPU access to guest-physical memory from inside the VM: the
     hardware walks the EPT with permission checks, so reads of

@@ -14,6 +14,7 @@ type t = {
   gpa_alloc : Memory.Allocator.t;
   mem_bytes : int;
   mutable grant_frame : int option;
+  mutable alive : bool;  (** cleared when the VM crashes or is killed *)
 }
 
 val id : t -> int
@@ -21,6 +22,7 @@ val name : t -> string
 val kind : t -> kind
 val ept : t -> Memory.Ept.t
 val phys : t -> Memory.Phys_mem.t
+val alive : t -> bool
 
 (** CPU access to guest-physical memory (EPT-checked). *)
 val read_gpa : t -> gpa:int -> len:int -> bytes

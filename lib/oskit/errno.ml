@@ -17,6 +17,7 @@ type t =
   | ENOTTY
   | ENOSPC
   | EOVERFLOW
+  | ETIMEDOUT
 
 exception Unix_error of t * string
 (** Raised by driver handlers; caught at the VFS boundary. *)
@@ -34,6 +35,7 @@ let to_code = function
   | ENOTTY -> 25
   | ENOSPC -> 28
   | EOVERFLOW -> 75
+  | ETIMEDOUT -> 110
 
 let of_code = function
   | 1 -> Some EPERM
@@ -48,6 +50,7 @@ let of_code = function
   | 25 -> Some ENOTTY
   | 28 -> Some ENOSPC
   | 75 -> Some EOVERFLOW
+  | 110 -> Some ETIMEDOUT
   | _ -> None
 
 let to_string = function
@@ -63,6 +66,7 @@ let to_string = function
   | ENOTTY -> "ENOTTY"
   | ENOSPC -> "ENOSPC"
   | EOVERFLOW -> "EOVERFLOW"
+  | ETIMEDOUT -> "ETIMEDOUT"
 
 let fail errno msg = raise (Unix_error (errno, msg))
 

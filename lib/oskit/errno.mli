@@ -14,6 +14,7 @@ type t =
   | ENOTTY
   | ENOSPC
   | EOVERFLOW
+  | ETIMEDOUT
 
 exception Unix_error of t * string
 (** Raised by driver handlers; caught at the VFS boundary. *)

@@ -18,7 +18,11 @@ val send : 'a t -> 'a -> unit
     buffered. *)
 val recv : 'a t -> 'a
 
-(** Like {!recv} but gives up after [timeout] microseconds.  A message
-    arriving later is never lost: it is re-dispatched to live
-    receivers or buffered. *)
+(** Like {!recv} but gives up after [timeout] microseconds.  A
+    timed-out waiter is removed from the wait queue, so later sends go
+    straight to live receivers (or the buffer) and no message is ever
+    lost or re-dispatched. *)
 val recv_timeout : 'a t -> timeout:float -> 'a option
+
+(** Blocked receivers currently eligible for a send. *)
+val waiting : 'a t -> int

@@ -1,0 +1,95 @@
+(* Deterministic fault-injection suite, run by `dune build @check` (or
+   @fault-suite): a fixed seed drives probabilistic transport faults
+   against a guest issuing idempotent operations under RPC deadlines.
+   Invariants checked:
+   - no operation ever hangs: each returns Ok or a clean errno;
+   - a corrupted frame is rejected (EINVAL), never executed or fatal;
+   - after a driver-VM kill the stale fd fails fast and, post-reboot,
+     a re-opened device file serves the same operation again.
+   The seed is fixed so the exact fault schedule — and therefore the
+   recovery path — is identical on every run. *)
+
+let seed = 0xFA17EDL
+let storm_ops = 500
+
+module M = Paradice.Machine
+module CF = Paradice.Cvd_front
+module FI = Sim.Fault_inject
+open Oskit
+
+let () =
+  let inj = FI.create ~seed () in
+  let config =
+    {
+      Paradice.Config.default with
+      Paradice.Config.injector = Some inj;
+      rpc_timeout_us = 500.;
+      rpc_retries = 3;
+    }
+  in
+  let m = M.create ~config () in
+  let (_ : Defs.device) = M.attach_null m in
+  let g = M.add_guest m ~name:"g1" () in
+  let ok_ops = ref 0
+  and clean_errors = ref 0
+  and violations = ref []
+  and finished = ref false in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"storm" in
+      let k = g.M.kernel in
+      let fd =
+        match Vfs.openf k app "/dev/null0" with
+        | Ok fd -> fd
+        | Error e ->
+            violation "initial open failed: %s" (Errno.to_string e);
+            raise Exit
+      in
+      FI.arm inj ~key:Paradice.Channel.site_drop_req (FI.Prob 0.05);
+      FI.arm inj ~key:Paradice.Channel.site_corrupt_req (FI.Prob 0.05);
+      FI.arm inj ~key:Paradice.Channel.site_delay_req (FI.Prob 0.10);
+      for i = 1 to storm_ops do
+        match Vfs.ioctl k app fd ~cmd:M.null_ioctl ~arg:0L with
+        | Ok 0 -> incr ok_ops
+        | Ok rc -> violation "op %d: unexpected return %d" i rc
+        | Error (Errno.EINVAL | Errno.ETIMEDOUT) -> incr clean_errors
+        | Error e -> violation "op %d: unexpected errno %s" i (Errno.to_string e)
+      done;
+      List.iter
+        (fun key -> FI.disarm inj ~key)
+        [
+          Paradice.Channel.site_drop_req;
+          Paradice.Channel.site_corrupt_req;
+          Paradice.Channel.site_delay_req;
+        ];
+      (* crash / recovery epilogue *)
+      M.kill_driver_vm m;
+      (match Vfs.ioctl k app fd ~cmd:M.null_ioctl ~arg:0L with
+      | Error (Errno.EIO | Errno.ENODEV) -> ()
+      | Error e -> violation "post-kill op: unexpected errno %s" (Errno.to_string e)
+      | Ok _ -> violation "operation succeeded on a dead driver VM");
+      if CF.session g.M.frontend <> CF.Faulted then
+        violation "session not faulted after kill";
+      M.reboot_driver_vm m;
+      (match Vfs.openf k app "/dev/null0" with
+      | Ok fd2 -> (
+          match Vfs.ioctl k app fd2 ~cmd:M.null_ioctl ~arg:0L with
+          | Ok 0 -> incr ok_ops
+          | _ -> violation "post-reboot op failed")
+      | Error e -> violation "post-reboot open failed: %s" (Errno.to_string e));
+      finished := true);
+  Sim.Engine.run (M.engine m);
+  if not !finished then violation "storm did not run to completion";
+  if !ok_ops = 0 then violation "no operation ever succeeded";
+  Printf.printf "fault suite: seed=%#Lx ops=%d ok=%d clean-errors=%d\n" seed
+    storm_ops !ok_ops !clean_errors;
+  List.iter
+    (fun (key, seen, fired) -> Printf.printf "  site %-18s seen=%-5d fired=%d\n" key seen fired)
+    (FI.stats inj);
+  match !violations with
+  | [] -> print_endline "fault suite: OK"
+  | vs ->
+      List.iter (fun v -> print_endline ("fault suite: VIOLATION: " ^ v)) (List.rev vs);
+      exit 1

@@ -1,2 +1,2 @@
 (* Aggregates every library's test suites into one alcotest runner. *)
-let () = Alcotest.run "paradice" (Test_sim.suites @ Test_memory.suites @ Test_hypervisor.suites @ Test_oskit.suites @ Test_devices.suites @ Test_analyzer.suites @ Test_cvd.suites @ Test_workloads.suites @ Test_extensions.suites @ Test_channel.suites @ Test_isolation_e2e.suites @ Test_props.suites)
+let () = Alcotest.run "paradice" (Test_sim.suites @ Test_memory.suites @ Test_hypervisor.suites @ Test_oskit.suites @ Test_devices.suites @ Test_analyzer.suites @ Test_cvd.suites @ Test_workloads.suites @ Test_extensions.suites @ Test_channel.suites @ Test_isolation_e2e.suites @ Test_faults.suites @ Test_props.suites)
