@@ -21,6 +21,7 @@ let experiments =
     ("isolation", Experiments.isolation);
     ("ablations", Experiments.ablations);
     ("recovery", Experiments.recovery);
+    ("throughput", Experiments.throughput);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -3,15 +3,18 @@
     The backend runs one worker per channel, giving each guest a few
     parallel servers (the paper's per-guest wait queue drained by
     backend threads, §5.1): a process blocked in a long read or poll
-    does not stall the guest's other device files.  The per-guest
-    operation cap (default 100) bounds how many operations may be
-    outstanding or waiting — the DoS protection of §5.1. *)
+    does not stall the guest's other device files.  Each channel is a
+    descriptor ring, so the pool no longer hands out exclusive
+    channels — it routes each operation to the least-loaded ring and
+    lets the ring's own slot accounting apply backpressure.  The
+    per-guest operation cap (default 100) still bounds how many
+    operations may be outstanding or waiting — the DoS protection of
+    §5.1. *)
 
 type t = {
   channels : Channel.t array;
-  free : Sim.Semaphore.t;
   cap : int;
-  mutable pending : int; (* in flight + waiting for a channel *)
+  mutable pending : int; (* in flight + waiting for a ring slot *)
   mutable rejected_busy : int;
 }
 
@@ -19,19 +22,26 @@ exception Busy
 (** Raised when the guest already has [max_queued_ops] operations
     outstanding. *)
 
-let create channels ~cap =
-  {
-    channels;
-    free = Sim.Semaphore.create (Array.length channels);
-    cap;
-    pending = 0;
-    rejected_busy = 0;
-  }
+let create channels ~cap = { channels; cap; pending = 0; rejected_busy = 0 }
 
 (** The designated channel for backend-to-frontend notifications. *)
 let notify_channel t = t.channels.(0)
 
 let iter_channels t f = Array.iter f t.channels
+
+(* Least-loaded dispatch; strict [<] so ties go to the lowest index
+   (a fully idle guest always lands on channel 0). *)
+let pick_channel t =
+  let best = ref t.channels.(0) in
+  let best_load = ref (Channel.load t.channels.(0)) in
+  for i = 1 to Array.length t.channels - 1 do
+    let l = Channel.load t.channels.(i) in
+    if l < !best_load then begin
+      best := t.channels.(i);
+      best_load := l
+    end
+  done;
+  !best
 
 let rpc ?timeout_us t bytes =
   if t.pending >= t.cap then begin
@@ -41,24 +51,7 @@ let rpc ?timeout_us t bytes =
   t.pending <- t.pending + 1;
   Fun.protect
     ~finally:(fun () -> t.pending <- t.pending - 1)
-    (fun () ->
-      Sim.Semaphore.acquire t.free;
-      Fun.protect
-        ~finally:(fun () -> Sim.Semaphore.release t.free)
-        (fun () ->
-          (* at least one channel is idle once [free] is acquired *)
-          let rec pick i =
-            if i >= Array.length t.channels then
-              invalid_arg "Chan_pool: no free channel despite semaphore"
-            else
-              let chan = t.channels.(i) in
-              if Sim.Semaphore.try_acquire (Channel.rpc_mutex chan) then chan
-              else pick (i + 1)
-          in
-          let chan = pick 0 in
-          Fun.protect
-            ~finally:(fun () -> Sim.Semaphore.release (Channel.rpc_mutex chan))
-            (fun () -> Channel.rpc_locked ?timeout_us chan bytes)))
+    (fun () -> Channel.rpc ?timeout_us (pick_channel t) bytes)
 
 type stats = {
   rpcs : int;
@@ -67,6 +60,7 @@ type stats = {
   rejected_busy : int;
   timeouts : int;
   retries : int;
+  stale_responses : int;
 }
 
 let stats t =
@@ -78,4 +72,5 @@ let stats t =
     rejected_busy = t.rejected_busy;
     timeouts = sum (fun s -> s.Channel.timeouts);
     retries = sum (fun s -> s.Channel.retries);
+    stale_responses = sum (fun s -> s.Channel.stale_responses);
   }

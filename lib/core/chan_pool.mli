@@ -1,6 +1,7 @@
 (** A pool of CVD channels for one guest: a few parallel backend
-    workers (so a blocking read does not stall other device files)
-    under the per-guest operation cap of §5.1. *)
+    workers (so a blocking read does not stall other device files),
+    each serving a descriptor ring, under the per-guest operation cap
+    of §5.1.  Operations are routed to the least-loaded ring. *)
 
 type t
 
@@ -14,8 +15,9 @@ val notify_channel : t -> Channel.t
 
 val iter_channels : t -> (Channel.t -> unit) -> unit
 
-(** One request/response exchange over any idle channel.  [timeout_us]
-    overrides the configured RPC deadline (see {!Channel.rpc_locked}). *)
+(** One request/response exchange over the least-loaded channel's
+    ring.  [timeout_us] overrides the configured RPC deadline (see
+    {!Channel.rpc}). *)
 val rpc : ?timeout_us:float -> t -> bytes -> bytes
 
 type stats = {
@@ -25,6 +27,7 @@ type stats = {
   rejected_busy : int;
   timeouts : int;
   retries : int;
+  stale_responses : int;
 }
 
 val stats : t -> stats

@@ -1,29 +1,67 @@
-(** CVD transport: shared memory page + inter-VM signalling (§5.1).
+(** CVD transport: shared memory descriptor ring + inter-VM signalling
+    (§5.1).
 
-    The frontend puts the serialised file operation in the shared page
-    and signals the backend; the response travels the same way back.
+    The frontend serialises file operations into ring slots in the
+    shared region and rings a doorbell; the backend drains every ready
+    descriptor per wakeup and publishes responses the same way back.
     Two signalling modes exist:
-    - {b interrupts}: each leg is an inter-VM interrupt (~17 us);
-    - {b polling}: both sides spin on the page for up to 200 us before
-      sleeping, so a hot handoff costs under a microsecond.
+    - {b interrupts}: each doorbell leg is an inter-VM interrupt (~17 us);
+    - {b polling}: both sides spin on the ring head, so a handoff costs
+      under a microsecond.
 
-    A channel whose last exchange is older than the cold threshold
-    pays a per-leg surcharge (idle worker wakeup — see {!Config}).
+    {b Ring layout.}  The shared region is a control page followed by
+    slot pages:
+    - control page: one u32 state word per slot
+      (free / req-ready / in-service / resp-ready / delivered) at
+      [4*i], and the asynchronous notification counter at [512];
+    - slot [i]'s 1 KiB descriptor at [page_size + i * slot_size];
+      the response overwrites the request in place.
 
-    The page layout: request slot at 0, response slot at 1024, a
-    notification counter at 2048 (the backend's asynchronous messages
-    to the frontend, §5.1). *)
+    Up to [Config.ring_slots] RPCs may be in flight per channel; a
+    publisher with no free slot blocks until one completes.
+
+    {b Doorbell coalescing.}  A doorbell leg is sent only when the
+    receiver might actually be asleep: while the backend is awake and
+    draining ([back_active]) — or an earlier request doorbell is still
+    in flight ([req_irq_pending]) — newly published descriptors are
+    picked up by the backend's next head re-scan at no signalling
+    cost.  Responses coalesce symmetrically on [resp_irq_pending]: one
+    interrupt delivers every response marked ready since the leg was
+    raised.  This is the adaptive-polling extension of the hot-poll
+    path: a busy receiver polls the ring head between operations and
+    never takes an interrupt; only an idle (possibly cold) receiver
+    needs one.
+
+    {b Sequencing.}  Every publish stamps a fresh sequence number into
+    the descriptor ({!Proto.seq_off}); the backend echoes the sequence
+    it drained into its response.  A waiter discards a response whose
+    sequence is not its current attempt's (a late answer to a
+    timed-out attempt — at-least-once retries make these legitimate)
+    and republishes its own request, which the stale response
+    clobbered.
+
+    A channel whose receiving endpoint has been idle longer than the
+    cold threshold pays a per-leg surcharge (idle worker wakeup — see
+    {!Config}). *)
 
 type t = {
   engine : Sim.Engine.t;
   config : Config.t;
-  page : Hypervisor.Shared_page.t;
+  region : Hypervisor.Shared_page.t;
   front_view : Hypervisor.Shared_page.view;
   back_view : Hypervisor.Shared_page.view;
-  req_rx : unit Sim.Mailbox.t; (* backend wakes here on request legs *)
-  resp_rx : unit Sim.Mailbox.t; (* frontend wakes here on response legs *)
+  slots : int; (* ring depth *)
+  req_rx : unit Sim.Mailbox.t; (* backend wakes here on request doorbells *)
+  resp_box : unit Sim.Mailbox.t array; (* per-slot response delivery *)
   notify_rx : unit Sim.Mailbox.t; (* frontend async-notification wakeups *)
-  rpc_mutex : Sim.Semaphore.t; (* one exchange in the page at a time *)
+  slot_sem : Sim.Semaphore.t; (* free ring slots *)
+  free_slots : int Queue.t;
+  mutable next_seq : int;
+  service_seq : int array; (* backend: seq drained per slot, echoed back *)
+  (* doorbell-coalescing state *)
+  mutable back_active : bool; (* backend awake and draining the ring *)
+  mutable req_irq_pending : bool; (* a request doorbell leg is in flight *)
+  mutable resp_irq_pending : bool; (* a response doorbell leg is in flight *)
   (* Cold-path tracking is per receiving endpoint: a leg towards a
      worker that has been idle pays the cold surcharge (idle wakeup,
      scheduler, cache refill), while a recently-active receiver is
@@ -31,12 +69,16 @@ type t = {
      isolated input event costs hundreds (§6.1.1 vs §6.1.5). *)
   mutable front_last_wake : float;
   mutable back_last_wake : float;
+  mutable scan_cursor : int; (* backend drain fairness *)
   mutable legs : int;
   mutable cold_legs : int;
   mutable rpcs : int;
+  mutable in_flight : int; (* frontend ops claimed on this ring *)
+  mutable max_in_flight : int;
+  mutable in_service : int; (* descriptors drained, not yet answered *)
   mutable notifications : int;
   mutable pending_notify : bool; (* signal collapsing: one interrupt pending *)
-  mutable rejected_busy : int;
+  mutable stale_responses : int;
   (* A killed channel (driver-VM crash) never completes an exchange
      again: senders fail fast with EIO, blocked receivers are woken so
      they can observe the death instead of hanging forever. *)
@@ -45,63 +87,102 @@ type t = {
   mutable retries : int;
 }
 
-let req_off = 0
-let resp_off = 1024
-let notify_off = 2048
+(* ---- ring layout ---- *)
+
+let st_free = 0
+let st_req_ready = 1
+let st_in_service = 2
+let st_resp_ready = 3
+let st_delivered = 4
+let state_off slot = 4 * slot
+let notify_off = 512
+let slot_off slot = Memory.Addr.page_size + (slot * Proto.slot_size)
+
+(* the control page holds up to 128 slot state words before notify_off *)
+let max_slots = notify_off / 4
 
 let create engine ~config ~phys ~guest_vm ~driver_vm =
-  let page = Hypervisor.Shared_page.allocate phys in
+  let slots = max 1 (min config.Config.ring_slots max_slots) in
+  let slot_bytes = slots * Proto.slot_size in
+  let pages =
+    1 + ((slot_bytes + Memory.Addr.page_size - 1) / Memory.Addr.page_size)
+  in
+  let region = Hypervisor.Shared_page.allocate ~pages phys in
   let (_ : int) =
-    Hypervisor.Shared_page.map_into page guest_vm ~perms:Memory.Perm.rw
+    Hypervisor.Shared_page.map_into region guest_vm ~perms:Memory.Perm.rw
   in
   let (_ : int) =
-    Hypervisor.Shared_page.map_into page driver_vm ~perms:Memory.Perm.rw
+    Hypervisor.Shared_page.map_into region driver_vm ~perms:Memory.Perm.rw
   in
+  let free_slots = Queue.create () in
+  for i = 0 to slots - 1 do
+    Queue.push i free_slots
+  done;
   {
     engine;
     config;
-    page;
-    front_view = Hypervisor.Shared_page.view_of page guest_vm;
-    back_view = Hypervisor.Shared_page.view_of page driver_vm;
+    region;
+    front_view = Hypervisor.Shared_page.view_of region guest_vm;
+    back_view = Hypervisor.Shared_page.view_of region driver_vm;
+    slots;
     req_rx = Sim.Mailbox.create engine;
-    resp_rx = Sim.Mailbox.create engine;
+    resp_box = Array.init slots (fun _ -> Sim.Mailbox.create engine);
     notify_rx = Sim.Mailbox.create engine;
-    rpc_mutex = Sim.Semaphore.create 1;
+    slot_sem = Sim.Semaphore.create slots;
+    free_slots;
+    next_seq = 0;
+    service_seq = Array.make slots 0;
+    back_active = false;
+    req_irq_pending = false;
+    resp_irq_pending = false;
     front_last_wake = neg_infinity;
     back_last_wake = neg_infinity;
+    scan_cursor = 0;
     legs = 0;
     cold_legs = 0;
     rpcs = 0;
+    in_flight = 0;
+    max_in_flight = 0;
+    in_service = 0;
     notifications = 0;
     pending_notify = false;
-    rejected_busy = 0;
+    stale_responses = 0;
     dead = false;
     timeouts = 0;
     retries = 0;
   }
 
 let is_dead t = t.dead
+let ring_slots t = t.slots
+
+(** Dispatch weight for {!Chan_pool}: outstanding frontend operations,
+    with a whole ring's worth of penalty while the backend worker is
+    inside the driver (it may be blocked indefinitely in a read or
+    poll, so new work should prefer a channel whose worker is free). *)
+let load t = t.in_flight + (t.slots * min t.in_service 1)
 
 (** Declare the channel dead (driver-VM crash).  With [poison] (the
-    default) every blocked party — the frontend waiting for a response,
-    backend workers waiting for requests, the notification dispatcher —
-    is woken exactly once so it can observe [dead] and bail out.  The
-    rpc mutex guarantees at most one in-flight response waiter, so one
-    wakeup per mailbox suffices.  [poison:false] models a silent crash:
-    nobody is woken and detection is left to RPC deadlines or the
-    frontend watchdog. *)
+    default) every blocked party — each slot's response waiter, the
+    backend worker waiting for a doorbell, the notification dispatcher
+    — is woken exactly once so it can observe [dead] and bail out.
+    Slot holders release their ring slots as they fail, which wakes
+    any publisher blocked waiting for a free slot in turn.
+    [poison:false] models a silent crash: nobody is woken and
+    detection is left to RPC deadlines or the frontend watchdog. *)
 let kill ?(poison = true) t =
   if not t.dead then begin
     t.dead <- true;
     if poison then begin
-      Sim.Mailbox.send t.resp_rx ();
+      Array.iter (fun box -> Sim.Mailbox.send box ()) t.resp_box;
       Sim.Mailbox.send t.req_rx ();
       Sim.Mailbox.send t.notify_rx ()
     end
   end
 
 (* Deterministic fault sites (driven by [Config.injector]).  Keys are
-   stable strings so tests and experiments can arm them by name. *)
+   stable strings so tests and experiments can arm them by name; all
+   of them act at doorbell-leg granularity — a dropped doorbell loses
+   the interrupt, not the descriptor, so only a deadline recovers. *)
 let site_drop_req = "chan.drop_req"
 let site_drop_resp = "chan.drop_resp"
 let site_corrupt_req = "chan.corrupt_req"
@@ -112,9 +193,10 @@ let fault_fires t key =
   | None -> false
   | Some inj -> Sim.Fault_inject.fires inj ~key
 
-(* One signalling leg towards [rx] on [receiver] side: transfer
-   latency, plus the cold surcharge when that receiver has been idle. *)
-let leg t ~receiver rx =
+(* One signalling leg towards [receiver]: transfer latency, plus the
+   cold surcharge when that receiver has been idle.  [k] runs in
+   engine context on arrival. *)
+let leg t ~receiver k =
   let now = Sim.Engine.now t.engine in
   let last =
     match receiver with `Front -> t.front_last_wake | `Back -> t.back_last_wake
@@ -128,103 +210,227 @@ let leg t ~receiver rx =
   let delay =
     Config.leg_latency t.config +. (if cold then Config.cold_extra t.config else 0.)
   in
-  Sim.Engine.at t.engine ~delay (fun () -> Sim.Mailbox.send rx ())
+  Sim.Engine.at t.engine ~delay k
 
 let marshal t = Sim.Engine.wait t.config.Config.marshal_us
 
-let rpc_mutex t = t.rpc_mutex
-
 let fail_dead () = Oskit.Errno.fail Oskit.Errno.EIO "channel dead: driver VM down"
 
-(* One request leg, with the injected transport faults applied:
-   corruption garbles the opcode byte in the shared page (the backend
-   must reject, not crash), delay adds latency, drop loses the leg
-   entirely (only a deadline can recover). *)
-let send_request t (req_bytes : bytes) =
-  marshal t;
-  let wire =
-    if fault_fires t site_corrupt_req then begin
-      let b = Bytes.copy req_bytes in
-      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
-      b
-    end
-    else req_bytes
-  in
-  t.front_view.Hypervisor.Shared_page.write ~offset:req_off wire;
+(* Request doorbell, with the injected transport faults applied.  The
+   delay fault stalls the publish path; the drop fault loses the
+   doorbell (evaluated only when a leg would actually be sent — a
+   coalesced publish has no doorbell to lose).  A suppressed doorbell
+   is the coalescing win: the backend is either draining (it will see
+   the descriptor on its next head re-scan) or already has an
+   interrupt in flight that covers every descriptor marked since. *)
+let ring_req_doorbell t =
   if fault_fires t site_delay_req then
     Sim.Engine.wait t.config.Config.fault_delay_us;
-  if not (fault_fires t site_drop_req) then leg t ~receiver:`Back t.req_rx
+  if (not t.back_active) && not t.req_irq_pending then
+    if not (fault_fires t site_drop_req) then begin
+      t.req_irq_pending <- true;
+      leg t ~receiver:`Back (fun () ->
+          t.req_irq_pending <- false;
+          t.back_active <- true;
+          Sim.Mailbox.send t.req_rx ())
+    end
 
-(** Frontend: send a request and wait for the response.  The caller
-    must hold [rpc_mutex] ({!Chan_pool} manages this).
+(* Publish one request descriptor: marshal, stamp the attempt's
+   sequence number, write the slot, mark it ready, ring.  Corruption
+   garbles the opcode byte in the shared slot (the backend must
+   reject, not crash); the sequence number is stamped first, so even a
+   corrupt descriptor's rejection pairs with its attempt. *)
+let publish t ~slot ~seq (req_bytes : bytes) =
+  marshal t;
+  let wire = Bytes.copy req_bytes in
+  Proto.set_seq wire seq;
+  if fault_fires t site_corrupt_req then
+    Bytes.set wire 0 (Char.chr (Char.code (Bytes.get wire 0) lxor 0xff));
+  t.front_view.Hypervisor.Shared_page.write ~offset:(slot_off slot) wire;
+  t.front_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
+    st_req_ready;
+  ring_req_doorbell t
+
+(* Response-interrupt arrival: deliver every response published since
+   the leg was raised (engine context: page reads and mailbox sends
+   only, no waits). *)
+let deliver_responses t =
+  t.resp_irq_pending <- false;
+  if not t.dead then
+    for slot = 0 to t.slots - 1 do
+      if
+        t.front_view.Hypervisor.Shared_page.read_u32 ~offset:(state_off slot)
+        = st_resp_ready
+      then begin
+        t.front_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
+          st_delivered;
+        Sim.Mailbox.send t.resp_box.(slot) ()
+      end
+    done
+
+let fresh_seq t =
+  t.next_seq <- t.next_seq + 1;
+  t.next_seq
+
+(** Frontend: one request/response exchange over a ring slot.  Blocks
+    while the ring is full; up to [Config.ring_slots] callers may be
+    inside concurrently.
 
     With a deadline ([timeout_us] override, else [Config.rpc_timeout_us];
     0 = wait forever) an unanswered request is {e resent} up to
-    [Config.rpc_retries] times before the exchange fails with
-    ETIMEDOUT.  Retries give at-least-once semantics: a request whose
-    response (rather than the request itself) was lost executes twice,
-    so callers must only retry idempotent operations — which is why
-    deadlines are opt-in.  A channel killed mid-exchange fails with EIO
-    instead: the transport itself is gone. *)
-let rpc_locked ?timeout_us t (req_bytes : bytes) : bytes =
+    [Config.rpc_retries] times — with a fresh sequence number — before
+    the exchange fails with ETIMEDOUT.  Retries give at-least-once
+    semantics: a request whose response (rather than the request
+    itself) was lost executes twice, so callers must only retry
+    idempotent operations — which is why deadlines are opt-in.  A
+    response carrying a stale sequence number (the late answer of a
+    timed-out attempt) is discarded and the live attempt republished.
+    A channel killed mid-exchange fails with EIO instead: the
+    transport itself is gone. *)
+let rpc ?timeout_us t (req_bytes : bytes) : bytes =
   if t.dead then fail_dead ();
   t.rpcs <- t.rpcs + 1;
-  let deadline =
-    match timeout_us with Some d -> d | None -> t.config.Config.rpc_timeout_us
-  in
-  let rec attempt tries_left =
-    send_request t req_bytes;
-    if t.dead then fail_dead ();
-    let got =
-      if deadline > 0. then Sim.Mailbox.recv_timeout t.resp_rx ~timeout:deadline
-      else Some (Sim.Mailbox.recv t.resp_rx)
-    in
-    if t.dead then fail_dead ();
-    match got with
-    | Some () ->
-        marshal t;
-        t.front_view.Hypervisor.Shared_page.read ~offset:resp_off
-          ~len:Proto.slot_size
-    | None ->
-        t.timeouts <- t.timeouts + 1;
-        if tries_left > 0 then begin
-          t.retries <- t.retries + 1;
-          attempt (tries_left - 1)
-        end
-        else
-          Oskit.Errno.fail Oskit.Errno.ETIMEDOUT
-            "rpc deadline exceeded after retries"
-  in
-  attempt (max 0 t.config.Config.rpc_retries)
+  t.in_flight <- t.in_flight + 1;
+  if t.in_flight > t.max_in_flight then t.max_in_flight <- t.in_flight;
+  Fun.protect
+    ~finally:(fun () -> t.in_flight <- t.in_flight - 1)
+    (fun () ->
+      Sim.Semaphore.acquire t.slot_sem;
+      if t.dead then begin
+        Sim.Semaphore.release t.slot_sem;
+        fail_dead ()
+      end;
+      let slot = Queue.pop t.free_slots in
+      let box = t.resp_box.(slot) in
+      (* drop stale wakeups a timed-out previous occupant left behind:
+         correctness comes from sequence pairing, but a buffered token
+         would cost a pointless spurious wake *)
+      while not (Sim.Mailbox.is_empty box) do
+        ignore (Sim.Mailbox.recv box)
+      done;
+      Fun.protect
+        ~finally:(fun () ->
+          if not t.dead then
+            t.front_view.Hypervisor.Shared_page.write_u32
+              ~offset:(state_off slot) st_free;
+          Queue.push slot t.free_slots;
+          Sim.Semaphore.release t.slot_sem)
+        (fun () ->
+          let deadline =
+            match timeout_us with
+            | Some d -> d
+            | None -> t.config.Config.rpc_timeout_us
+          in
+          let rec attempt tries_left =
+            let seq = fresh_seq t in
+            publish t ~slot ~seq req_bytes;
+            if t.dead then fail_dead ();
+            await tries_left seq
+          and await tries_left seq =
+            let got =
+              if deadline > 0. then
+                Sim.Mailbox.recv_timeout box ~timeout:deadline
+              else Some (Sim.Mailbox.recv box)
+            in
+            if t.dead then fail_dead ();
+            match got with
+            | Some () ->
+                marshal t;
+                let resp =
+                  t.front_view.Hypervisor.Shared_page.read
+                    ~offset:(slot_off slot) ~len:Proto.slot_size
+                in
+                if Proto.get_seq resp = seq then resp
+                else begin
+                  (* a late answer to a timed-out earlier attempt: it
+                     clobbered our live request, so discard it and
+                     republish the same attempt *)
+                  t.stale_responses <- t.stale_responses + 1;
+                  publish t ~slot ~seq req_bytes;
+                  if t.dead then fail_dead ();
+                  await tries_left seq
+                end
+            | None ->
+                t.timeouts <- t.timeouts + 1;
+                if tries_left > 0 then begin
+                  t.retries <- t.retries + 1;
+                  attempt (tries_left - 1)
+                end
+                else
+                  Oskit.Errno.fail Oskit.Errno.ETIMEDOUT
+                    "rpc deadline exceeded after retries"
+          in
+          attempt (max 0 t.config.Config.rpc_retries)))
 
-(** Standalone variant taking the mutex itself (tests, single-channel
-    setups). *)
-let rpc ?timeout_us t req_bytes =
-  Sim.Semaphore.with_resource t.rpc_mutex (fun () ->
-      rpc_locked ?timeout_us t req_bytes)
-
-(** Backend: block for the next request; [None] once the channel is
-    dead (the worker should exit). *)
-let next_request t : bytes option =
+(** Backend: block until a descriptor is ready and claim it; [None]
+    once the channel is dead (the worker should exit).  One wakeup
+    drains many: after serving, the worker's next call re-scans the
+    ring head and picks up everything published meanwhile without any
+    further interrupt. *)
+let next_request t : (int * bytes) option =
   if t.dead then None
-  else
-    let () = Sim.Mailbox.recv t.req_rx in
-    if t.dead then None
-    else begin
-      marshal t;
-      Some
-        (t.back_view.Hypervisor.Shared_page.read ~offset:req_off
-           ~len:Proto.slot_size)
-    end
+  else begin
+    let scan () =
+      let rec go i =
+        if i >= t.slots then None
+        else
+          let slot = (t.scan_cursor + i) mod t.slots in
+          if
+            t.back_view.Hypervisor.Shared_page.read_u32 ~offset:(state_off slot)
+            = st_req_ready
+          then Some slot
+          else go (i + 1)
+      in
+      go 0
+    in
+    let rec next () =
+      match scan () with
+      | Some slot ->
+          t.scan_cursor <- (slot + 1) mod t.slots;
+          t.back_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
+            st_in_service;
+          t.in_service <- t.in_service + 1;
+          marshal t;
+          let bytes =
+            t.back_view.Hypervisor.Shared_page.read ~offset:(slot_off slot)
+              ~len:Proto.slot_size
+          in
+          t.service_seq.(slot) <- Proto.get_seq bytes;
+          Some (slot, bytes)
+      | None ->
+          (* ring drained: go back to sleep.  No wakeup can be lost —
+             there is no suspension point between the empty scan,
+             clearing [back_active] and blocking, so any publish after
+             this point sees [back_active = false] and sends a
+             doorbell. *)
+          t.back_active <- false;
+          let () = Sim.Mailbox.recv t.req_rx in
+          if t.dead then None else next ()
+    in
+    next ()
+  end
 
-(** Backend: complete the pending request.  Dropped silently on a dead
-    channel (a crashed driver VM answers nobody) or when the
-    response-drop fault fires. *)
-let respond t (resp_bytes : bytes) =
+(** Backend: complete the descriptor claimed from slot [slot], echoing
+    the sequence number it was drained with.  The response interrupt
+    coalesces: if one is already in flight it covers this response
+    too.  Dropped silently on a dead channel (a crashed driver VM
+    answers nobody); the response-drop fault loses the interrupt leg
+    (the descriptor stays ready and would ride a later response's leg
+    — or the frontend deadline recovers). *)
+let respond t ~slot (resp_bytes : bytes) =
   if not t.dead then begin
     marshal t;
-    t.back_view.Hypervisor.Shared_page.write ~offset:resp_off resp_bytes;
-    if not (fault_fires t site_drop_resp) then leg t ~receiver:`Front t.resp_rx
+    let wire = Bytes.copy resp_bytes in
+    Proto.set_seq wire t.service_seq.(slot);
+    t.back_view.Hypervisor.Shared_page.write ~offset:(slot_off slot) wire;
+    t.back_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
+      st_resp_ready;
+    t.in_service <- max 0 (t.in_service - 1);
+    if not t.resp_irq_pending then
+      if not (fault_fires t site_drop_resp) then begin
+        t.resp_irq_pending <- true;
+        leg t ~receiver:`Front (fun () -> deliver_responses t)
+      end
   end
 
 (** Backend: asynchronous notification towards the frontend (§5.1's
@@ -234,13 +440,15 @@ let respond t (resp_bytes : bytes) =
 let notify t =
   if not t.dead then begin
     t.notifications <- t.notifications + 1;
-    let counter = t.back_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off in
+    let counter =
+      t.back_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off
+    in
     t.back_view.Hypervisor.Shared_page.write_u32 ~offset:notify_off (counter + 1);
     (* Signals collapse: while a notification interrupt is pending, new
        events only bump the counter (like SIGIO, §2.1). *)
     if not t.pending_notify then begin
       t.pending_notify <- true;
-      leg t ~receiver:`Front t.notify_rx
+      leg t ~receiver:`Front (fun () -> Sim.Mailbox.send t.notify_rx ())
     end
   end
 
@@ -260,10 +468,11 @@ type stats = {
   legs : int;
   cold_legs : int;
   rpcs : int;
+  max_in_flight : int;
   notifications : int;
-  rejected_busy : int;
   timeouts : int;
   retries : int;
+  stale_responses : int;
 }
 
 let stats (t : t) : stats =
@@ -271,8 +480,9 @@ let stats (t : t) : stats =
     legs = t.legs;
     cold_legs = t.cold_legs;
     rpcs = t.rpcs;
+    max_in_flight = t.max_in_flight;
     notifications = t.notifications;
-    rejected_busy = t.rejected_busy;
     timeouts = t.timeouts;
     retries = t.retries;
+    stale_responses = t.stale_responses;
   }

@@ -1,10 +1,10 @@
-(** CVD transport: a shared memory page plus inter-VM signalling
-    (§5.1), in interrupt or polling mode, with per-receiver cold-path
-    accounting and signal-collapsing notifications. *)
+(** CVD transport: a shared-memory descriptor ring plus inter-VM
+    signalling (§5.1), in interrupt or polling mode, with doorbell
+    coalescing, per-receiver cold-path accounting, sequence-numbered
+    at-least-once retries and signal-collapsing notifications. *)
 
 type t
 
-(* The record is abstract except for the mutex Chan_pool coordinates on. *)
 val create :
   Sim.Engine.t ->
   config:Config.t ->
@@ -13,7 +13,12 @@ val create :
   driver_vm:Hypervisor.Vm.t ->
   t
 
-val rpc_mutex : t -> Sim.Semaphore.t
+(** Ring depth: how many RPCs may be in flight on this channel. *)
+val ring_slots : t -> int
+
+(** Dispatch weight for {!Chan_pool}: outstanding frontend operations,
+    heavily penalised while the backend worker is busy in the driver. *)
+val load : t -> int
 
 (** Declare the channel dead (driver-VM crash).  [poison] (default
     true) wakes every blocked party so it observes the death; false
@@ -23,21 +28,25 @@ val kill : ?poison:bool -> t -> unit
 
 val is_dead : t -> bool
 
-(** Frontend: one request/response exchange.  [rpc_locked] requires
-    the caller to hold {!rpc_mutex} (see {!Chan_pool}); [rpc] takes it
-    itself.  [timeout_us] overrides [Config.rpc_timeout_us] (0 = wait
-    forever).  Raises EIO when the channel dies, ETIMEDOUT when the
-    deadline expires after [Config.rpc_retries] resends (at-least-once:
-    only retry idempotent operations under a deadline). *)
-val rpc_locked : ?timeout_us:float -> t -> bytes -> bytes
-
+(** Frontend: one request/response exchange over a ring slot; blocks
+    while all [Config.ring_slots] slots are in flight.  [timeout_us]
+    overrides [Config.rpc_timeout_us] (0 = wait forever).  Raises EIO
+    when the channel dies, ETIMEDOUT when the deadline expires after
+    [Config.rpc_retries] resends (at-least-once: only retry idempotent
+    operations under a deadline).  Responses carrying a stale sequence
+    number (late answers to timed-out attempts) are discarded. *)
 val rpc : ?timeout_us:float -> t -> bytes -> bytes
 
-(** Backend: block for the next request ([None] = channel dead, the
-    worker should exit) / complete it (dropped on a dead channel). *)
-val next_request : t -> bytes option
+(** Backend: block until a descriptor is ready and claim it ([None] =
+    channel dead, the worker should exit).  One doorbell wakeup drains
+    many descriptors: successive calls re-scan the ring head before
+    sleeping. *)
+val next_request : t -> (int * bytes) option
 
-val respond : t -> bytes -> unit
+(** Complete the descriptor claimed from [slot] (dropped on a dead
+    channel); the response interrupt coalesces with any already in
+    flight. *)
+val respond : t -> slot:int -> bytes -> unit
 
 (** Backend: asynchronous notification (collapses while pending, like
     SIGIO).  Safe from engine callbacks. *)
@@ -48,7 +57,7 @@ val notify : t -> unit
 val next_notification : t -> int option
 
 (** Fault-site keys understood by this module (armed on the
-    [Config.injector]). *)
+    [Config.injector]); all act at doorbell-leg granularity. *)
 val site_drop_req : string
 
 val site_drop_resp : string
@@ -59,10 +68,11 @@ type stats = {
   legs : int;
   cold_legs : int;
   rpcs : int;
+  max_in_flight : int;  (** high-water mark of concurrent RPCs *)
   notifications : int;
-  rejected_busy : int;
   timeouts : int;
   retries : int;
+  stale_responses : int;  (** late answers to timed-out attempts, discarded *)
 }
 
 val stats : t -> stats

@@ -40,6 +40,10 @@ type t = {
   max_queued_ops : int; (* per-guest wait-queue cap, DoS protection (§5.1) *)
   channels_per_guest : int; (* parallel backend workers per guest, so a
                                 blocking read does not stall other files *)
+  ring_slots : int; (* descriptor-ring depth per channel: how many RPCs
+                        a guest may have in flight on one channel before
+                        publishers block (doorbells coalesce across all
+                        descriptors queued since the last one) *)
   (* -- fault containment & recovery (§4.1, §7.2) -- *)
   rpc_timeout_us : float; (* per-attempt RPC deadline; 0 = block forever
                               (blocking reads on quiet devices are
@@ -81,6 +85,7 @@ let default =
     ioctl_id_mode = Analyzer_table;
     max_queued_ops = 100;
     channels_per_guest = 4;
+    ring_slots = 8;
     rpc_timeout_us = 0.;
     rpc_retries = 2;
     heartbeat_interval_us = 0.;

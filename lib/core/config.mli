@@ -24,6 +24,8 @@ type t = {
   ioctl_id_mode : ioctl_id_mode;
   max_queued_ops : int;
   channels_per_guest : int;
+  ring_slots : int;
+      (** descriptor-ring depth per channel (in-flight RPC bound) *)
   rpc_timeout_us : float;
       (** per-attempt RPC deadline; 0 = block forever (default) *)
   rpc_retries : int;  (** resends after a timeout before ETIMEDOUT *)

@@ -276,7 +276,7 @@ let connect t ~guest_vm =
             match Channel.next_request channel with
             | None -> () (* channel dead: worker exits *)
             | Some _ when t.killed -> ()
-            | Some bytes ->
+            | Some (slot, bytes) ->
                 let resp = serve_one t link worker bytes in
                 (* "back.wedge": the worker hangs forever between
                    executing the operation and answering — a stuck
@@ -289,7 +289,7 @@ let connect t ~guest_vm =
                    kill before we notice [killed] below. *)
                 if fires site_crash then ignore resp
                 else if not t.killed then
-                  Channel.respond channel (Proto.encode_response resp);
+                  Channel.respond channel ~slot (Proto.encode_response resp);
                 loop ()
           in
           loop ()))

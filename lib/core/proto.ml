@@ -32,9 +32,20 @@ let w64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
 let r32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
 let r64 b off = Int64.to_int (Bytes.get_int64_le b off)
 
-(* header: opcode @0, grant @4, vfd @8, issuing pid @1012 (the
-   hypervisor resolves the guest process's page table from it) *)
+(* header: opcode @0, grant @4, vfd @8, transport sequence number
+   @1008, issuing pid @1012 (the hypervisor resolves the guest
+   process's page table from it) *)
 let pid_off = 1012
+
+(* The per-request sequence number lives in the descriptor itself, so
+   a response carries back exactly which attempt it answers: under
+   at-least-once retries a late response to a timed-out attempt must
+   not be mistaken for the resend's answer.  The channel stamps it at
+   publish time (it is transport state, not operation state). *)
+let seq_off = 1008
+
+let set_seq b seq = w32 b seq_off seq
+let get_seq b = r32 b seq_off
 
 let encode_request ~grant_ref ~pid req =
   let b = Bytes.make slot_size '\000' in

@@ -21,6 +21,14 @@ type response =
 
 val slot_size : int
 
+(** Transport sequence number, stamped into a descriptor by the
+    channel at publish time and echoed back in the response so a late
+    answer to a timed-out attempt can never be paired with a resend. *)
+val seq_off : int
+
+val set_seq : bytes -> int -> unit
+val get_seq : bytes -> int
+
 exception Malformed of string
 
 val encode_request : grant_ref:int -> pid:int -> request -> bytes

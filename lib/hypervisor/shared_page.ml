@@ -1,16 +1,23 @@
-(** A physical page shared between VMs (and optionally the hypervisor).
+(** A physically-backed region shared between VMs (and optionally the
+    hypervisor).
 
-    The CVD frontend/backend communicate through such pages (§5.1): the
-    frontend serialises file-operation arguments into one, rings a
+    The CVD frontend/backend communicate through such regions (§5.1):
+    the frontend serialises file-operation arguments into one, rings a
     doorbell, and the backend deserialises on the other side.  Each
-    side accesses the page through its own EPT mapping, so permissions
-    apply — a shared page inside a protected region genuinely becomes
-    unreadable to the driver VM. *)
+    side accesses the region through its own EPT mapping, so
+    permissions apply — a shared page inside a protected region
+    genuinely becomes unreadable to the driver VM.
+
+    A region is one or more physically contiguous frames mapped at a
+    contiguous guest-physical range in every VM that maps it; the
+    descriptor-ring transport uses a control page followed by slot
+    pages. *)
 
 type t = {
   phys : Memory.Phys_mem.t;
-  spn : int;
-  mutable mappings : (int * int) list; (* vm id, gpa *)
+  base_spn : int; (* first of [pages] contiguous frames *)
+  pages : int;
+  mutable mappings : (int * int) list; (* vm id, base gpa *)
 }
 
 type view = {
@@ -22,25 +29,41 @@ type view = {
   write_u64 : offset:int -> int64 -> unit;
 }
 
-let allocate phys =
-  let spn = Memory.Phys_mem.alloc_frame phys in
-  { phys; spn; mappings = [] }
+let allocate ?(pages = 1) phys =
+  if pages < 1 then invalid_arg "Shared_page.allocate: pages < 1";
+  let base_spn =
+    if pages = 1 then Memory.Phys_mem.alloc_frame phys
+    else Memory.Phys_mem.alloc_frames phys pages
+  in
+  { phys; base_spn; pages; mappings = [] }
 
-let spn t = t.spn
+let spn t = t.base_spn
+let pages t = t.pages
+let size t = t.pages * Memory.Addr.page_size
 
-(** Map the page into [vm] at a fresh guest-physical address. *)
+(** Map the region into [vm] at a fresh contiguous guest-physical
+    range; returns its base address. *)
 let map_into t vm ~perms =
-  let gpa = Memory.Allocator.reserve_unused vm.Vm.gpa_alloc in
-  Memory.Ept.map vm.Vm.ept ~gpa ~spa:(Memory.Addr.of_pfn t.spn) ~perms;
+  let gpa =
+    if t.pages = 1 then Memory.Allocator.reserve_unused vm.Vm.gpa_alloc
+    else Memory.Allocator.reserve_unused_range vm.Vm.gpa_alloc t.pages
+  in
+  for i = 0 to t.pages - 1 do
+    Memory.Ept.map vm.Vm.ept
+      ~gpa:(gpa + (i * Memory.Addr.page_size))
+      ~spa:(Memory.Addr.of_pfn (t.base_spn + i))
+      ~perms
+  done;
   t.mappings <- (vm.Vm.id, gpa) :: t.mappings;
   gpa
 
-let check_bounds ~offset ~len =
-  if offset < 0 || len < 0 || offset + len > Memory.Addr.page_size then
-    invalid_arg "Shared_page: access outside page"
+let check_bounds t ~offset ~len =
+  if offset < 0 || len < 0 || offset + len > t.pages * Memory.Addr.page_size then
+    invalid_arg "Shared_page: access outside region"
 
-(** A [view] for a VM that has the page mapped: every access performs
-    the EPT-checked CPU access of that VM. *)
+(** A [view] for a VM that has the region mapped: every access performs
+    the EPT-checked CPU access of that VM (crossing page boundaries
+    splits into per-page accesses, as the CPU would). *)
 let view_of t vm =
   let gpa =
     match List.assoc_opt vm.Vm.id t.mappings with
@@ -48,10 +71,10 @@ let view_of t vm =
     | None -> invalid_arg "Shared_page.view_of: not mapped in this VM"
   in
   let read ~offset ~len =
-    check_bounds ~offset ~len;
+    check_bounds t ~offset ~len;
     Vm.read_gpa vm ~gpa:(gpa + offset) ~len
   and write ~offset data =
-    check_bounds ~offset ~len:(Bytes.length data);
+    check_bounds t ~offset ~len:(Bytes.length data);
     Vm.write_gpa vm ~gpa:(gpa + offset) data
   in
   {
@@ -73,15 +96,16 @@ let view_of t vm =
         write ~offset b);
   }
 
-(** The hypervisor's own view bypasses EPTs: it addresses the frame
-    directly (it is the hypervisor's memory, after all). *)
+(** The hypervisor's own view bypasses EPTs: it addresses the frames
+    directly (they are the hypervisor's memory, after all; the frames
+    are physically contiguous, so linear addressing is exact). *)
 let hypervisor_view t =
-  let base = Memory.Addr.of_pfn t.spn in
+  let base = Memory.Addr.of_pfn t.base_spn in
   let read ~offset ~len =
-    check_bounds ~offset ~len;
+    check_bounds t ~offset ~len;
     Memory.Phys_mem.read t.phys ~spa:(base + offset) ~len
   and write ~offset data =
-    check_bounds ~offset ~len:(Bytes.length data);
+    check_bounds t ~offset ~len:(Bytes.length data);
     Memory.Phys_mem.write t.phys ~spa:(base + offset) data
   in
   {

@@ -1,5 +1,6 @@
-(** A physical page shared between VMs (the CVD transport medium,
-    §5.1).  Each VM accesses it through its own EPT mapping, so
+(** A physically-backed region shared between VMs (the CVD transport
+    medium, §5.1): one or more contiguous frames, mapped contiguously
+    into each VM.  Each VM accesses it through its own EPT mapping, so
     permissions apply for real. *)
 
 type t
@@ -13,13 +14,21 @@ type view = {
   write_u64 : offset:int -> int64 -> unit;
 }
 
-val allocate : Memory.Phys_mem.t -> t
+(** [allocate ?pages phys] backs the region with [pages] (default 1)
+    contiguous frames. *)
+val allocate : ?pages:int -> Memory.Phys_mem.t -> t
+
+(** First backing frame. *)
 val spn : t -> int
 
-(** Map into [vm] at a fresh guest-physical address (returned). *)
+val pages : t -> int
+val size : t -> int
+
+(** Map into [vm] at a fresh contiguous guest-physical range
+    (base returned). *)
 val map_into : t -> Vm.t -> perms:Memory.Perm.t -> int
 
-(** EPT-checked accessors for a VM that has the page mapped. *)
+(** EPT-checked accessors for a VM that has the region mapped. *)
 val view_of : t -> Vm.t -> view
 
 (** The hypervisor's own view bypasses EPTs. *)

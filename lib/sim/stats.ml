@@ -6,6 +6,7 @@
 type t = {
   name : string;
   mutable samples : float list;
+  mutable sorted : float array option; (* cache, invalidated by [add] *)
   mutable count : int;
   mutable sum : float;
   mutable min : float;
@@ -13,12 +14,21 @@ type t = {
 }
 
 let create name =
-  { name; samples = []; count = 0; sum = 0.; min = infinity; max = neg_infinity }
+  {
+    name;
+    samples = [];
+    sorted = None;
+    count = 0;
+    sum = 0.;
+    min = infinity;
+    max = neg_infinity;
+  }
 
 let name t = t.name
 
 let add t x =
   t.samples <- x :: t.samples;
+  t.sorted <- None;
   t.count <- t.count + 1;
   t.sum <- t.sum +. x;
   if x < t.min then t.min <- x;
@@ -30,15 +40,34 @@ let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
 let min_value t = if t.count = 0 then nan else t.min
 let max_value t = if t.count = 0 then nan else t.max
 
+(* Sorting every call was quadratic across a report's percentile
+   columns, and rounding the fractional rank to the nearest sample
+   snapped tail percentiles (p99 of a small run) to the maximum. *)
+let sorted_samples t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list t.samples in
+      Array.sort Float.compare arr;
+      t.sorted <- Some arr;
+      arr
+
 let percentile t p =
   if t.count = 0 then nan
   else begin
-    let sorted = List.sort Float.compare t.samples in
-    let arr = Array.of_list sorted in
-    let rank = p /. 100. *. float_of_int (Array.length arr - 1) in
-    let lo = int_of_float (Float.round rank) in
-    let lo = if lo < 0 then 0 else if lo >= Array.length arr then Array.length arr - 1 else lo in
-    arr.(lo)
+    let arr = sorted_samples t in
+    let n = Array.length arr in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let rank =
+      if rank < 0. then 0.
+      else if rank > float_of_int (n - 1) then float_of_int (n - 1)
+      else rank
+    in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (* linear interpolation between the neighbouring order statistics *)
+    (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
   end
 
 let median t = percentile t 50.

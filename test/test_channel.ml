@@ -162,6 +162,161 @@ let test_pool_cap_counts_rejections () =
   Alcotest.(check bool) "cap of 3 rejected 5 of 8" true (!busy = 5);
   Alcotest.(check int) "pool counted rejections" 5 s.Paradice.Chan_pool.rejected_busy
 
+(* ---- ring transport: sequence pairing, coalescing, pipelining ---- *)
+
+module Ch = Paradice.Channel
+
+(* A raw channel between the machine's guest and driver VMs, with a
+   scripted backend instead of the real CVD — lets a test control
+   exactly when each response comes back. *)
+let raw_channel ?config (m, g) =
+  let config = Option.value config ~default:(M.config m) in
+  Ch.create (M.engine m) ~config ~phys:m.M.phys ~guest_vm:g.M.vm
+    ~driver_vm:m.M.driver_vm
+
+let noop_req = Paradice.Proto.encode_request ~grant_ref:0 ~pid:0 Paradice.Proto.Rnoop
+
+(* An echo backend that serves its first request only after
+   [first_delay_us]; later requests are answered immediately.  Returns
+   the executed-request counter (at-least-once retries make it
+   observable when an operation ran twice). *)
+let echo_server ch eng ~first_delay_us =
+  let executions = ref 0 in
+  Sim.Engine.spawn eng ~name:"echo-server" (fun () ->
+      let first = ref true in
+      let rec loop () =
+        match Ch.next_request ch with
+        | None -> ()
+        | Some (slot, req) ->
+            if !first then begin
+              first := false;
+              if first_delay_us > 0. then Sim.Engine.wait first_delay_us
+            end;
+            incr executions;
+            Ch.respond ch ~slot req;
+            loop ()
+      in
+      loop ());
+  executions
+
+let test_stale_response_discarded () =
+  (* Regression: a late answer to a timed-out attempt used to be
+     consumed as the resend's response (no sequence pairing).  The
+     backend answers the first attempt after 600us against a 500us
+     deadline: the frontend must time out, resend, discard the late
+     seq-1 response when it finally lands, and pair only with its own
+     resend's answer. *)
+  let m, g = boot_null () in
+  let config =
+    { (M.config m) with Paradice.Config.rpc_timeout_us = 500.; rpc_retries = 2 }
+  in
+  let ch = raw_channel ~config (m, g) in
+  let executions = echo_server ch (M.engine m) ~first_delay_us:600. in
+  run_in (M.engine m) (fun () -> ignore (Ch.rpc ch noop_req));
+  let s = Ch.stats ch in
+  Alcotest.(check int) "first attempt timed out" 1 s.Ch.timeouts;
+  Alcotest.(check int) "resent once" 1 s.Ch.retries;
+  Alcotest.(check int) "late response discarded as stale" 1 s.Ch.stale_responses;
+  Alcotest.(check int) "at-least-once: operation ran twice" 2 !executions
+
+let test_dropped_response_leg_recovered () =
+  (* chan.drop_resp loses the response doorbell (the descriptor stays
+     published).  The resend after the deadline must get a fresh leg —
+     a dropped doorbell must not leave interrupt-coalescing believing
+     one is still in flight. *)
+  let m, g = boot_null () in
+  let inj = Sim.Fault_inject.create ~seed:7L () in
+  Sim.Fault_inject.arm inj ~key:Ch.site_drop_resp (Sim.Fault_inject.Nth 1);
+  let config =
+    {
+      (M.config m) with
+      Paradice.Config.rpc_timeout_us = 500.;
+      rpc_retries = 2;
+      injector = Some inj;
+    }
+  in
+  let ch = raw_channel ~config (m, g) in
+  let executions = echo_server ch (M.engine m) ~first_delay_us:0. in
+  run_in (M.engine m) (fun () -> ignore (Ch.rpc ch noop_req));
+  let s = Ch.stats ch in
+  Alcotest.(check int) "deadline recovered the lost completion" 1 s.Ch.timeouts;
+  Alcotest.(check int) "resent once" 1 s.Ch.retries;
+  Alcotest.(check int) "operation ran twice" 2 !executions
+
+let test_notify_single_leg_and_kill () =
+  (* M rapid notifications while the interrupt is pending must deliver
+     exactly one leg; the consumer then observes the full counter.
+     After kill ~poison:true a blocked consumer wakes to None. *)
+  let m, g = boot_null () in
+  let ch = raw_channel (m, g) in
+  let eng = M.engine m in
+  let observed = ref [] in
+  let ended = ref false in
+  Sim.Engine.spawn eng ~name:"notify-consumer" (fun () ->
+      let rec loop () =
+        match Ch.next_notification ch with
+        | Some n ->
+            observed := n :: !observed;
+            loop ()
+        | None -> ended := true
+      in
+      loop ());
+  (* burst of 7 in one callback: one interrupt leg, counter 7 *)
+  Sim.Engine.at eng ~delay:10. (fun () ->
+      for _ = 1 to 7 do
+        Ch.notify ch
+      done);
+  (* a later burst of 3 after the first was consumed: second leg *)
+  Sim.Engine.at eng ~delay:5_000. (fun () ->
+      for _ = 1 to 3 do
+        Ch.notify ch
+      done);
+  Sim.Engine.at eng ~delay:8_000. (fun () -> Ch.kill ~poison:true ch);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "counters observed (newest first)" [ 10; 7 ] !observed;
+  Alcotest.(check bool) "consumer saw the death" true !ended;
+  let s = Ch.stats ch in
+  Alcotest.(check int) "10 events counted" 10 s.Ch.notifications;
+  Alcotest.(check int) "collapsed into 2 interrupt legs" 2 s.Ch.legs
+
+let test_ring_pipelining_coalesces_doorbells () =
+  (* 4 concurrent producers on ONE channel: the ring must carry them
+     simultaneously (depth > 1) and the doorbells must coalesce — far
+     fewer than the 2 legs/op the serial exchange pays. *)
+  let cfg =
+    { Paradice.Config.default with Paradice.Config.channels_per_guest = 1 }
+  in
+  let m = M.create ~config:cfg () in
+  let (_ : Oskit.Defs.device) = M.attach_null m in
+  let g = M.add_guest m ~name:"g" () in
+  let pid = ref 0 in
+  run_in (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      pid := app.Oskit.Defs.pid);
+  let req = Paradice.Proto.encode_request ~grant_ref:0 ~pid:!pid Paradice.Proto.Rnoop in
+  for _ = 1 to 4 do
+    Sim.Engine.spawn (M.engine m) (fun () ->
+        for _ = 1 to 5 do
+          match Paradice.Proto.decode_response (raw_rpc g req) with
+          | Paradice.Proto.Rok 0 -> ()
+          | _ -> Alcotest.fail "noop must succeed"
+        done)
+  done;
+  Sim.Engine.run (M.engine m);
+  let s = Paradice.Chan_pool.stats g.M.link.Paradice.Cvd_back.pool in
+  Alcotest.(check int) "all ops completed" 20 s.Paradice.Chan_pool.rpcs;
+  Alcotest.(check bool)
+    (Printf.sprintf "doorbells coalesced (%d legs for %d rpcs)"
+       s.Paradice.Chan_pool.legs s.Paradice.Chan_pool.rpcs)
+    true
+    (s.Paradice.Chan_pool.legs < s.Paradice.Chan_pool.rpcs);
+  let deep = ref 0 in
+  Paradice.Chan_pool.iter_channels g.M.link.Paradice.Cvd_back.pool (fun c ->
+      deep := max !deep (Ch.stats c).Ch.max_in_flight);
+  Alcotest.(check bool)
+    (Printf.sprintf "ring carried concurrent ops (max depth %d)" !deep)
+    true (!deep >= 2)
+
 let prop_proto_request_roundtrip =
   QCheck.Test.make ~name:"wire requests round-trip for all field values" ~count:300
     QCheck.(
@@ -272,6 +427,17 @@ let suites =
         Alcotest.test_case "cold/warm leg accounting" `Quick test_cold_then_warm_legs;
         Alcotest.test_case "notification collapse" `Quick test_notification_collapse;
         Alcotest.test_case "pool cap rejections" `Quick test_pool_cap_counts_rejections;
+      ] );
+    ( "channel.ring",
+      [
+        Alcotest.test_case "stale response discarded" `Quick
+          test_stale_response_discarded;
+        Alcotest.test_case "dropped response leg recovered" `Quick
+          test_dropped_response_leg_recovered;
+        Alcotest.test_case "notify collapses to one leg; kill wakes" `Quick
+          test_notify_single_leg_and_kill;
+        Alcotest.test_case "ring pipelines and coalesces doorbells" `Quick
+          test_ring_pipelining_coalesces_doorbells;
       ] );
     ("channel.proto", [ QCheck_alcotest.to_alcotest prop_proto_request_roundtrip ]);
     ( "channel.dispatch",

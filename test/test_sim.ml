@@ -247,6 +247,22 @@ let test_stats () =
   check_float "median" 3. (Sim.Stats.median s);
   Alcotest.(check int) "count" 5 (Sim.Stats.count s)
 
+let test_stats_percentiles () =
+  (* Known quantiles under linear interpolation (rank = p/100*(n-1)).
+     Regression: nearest-rank rounding used to snap p99 of a small run
+     to the maximum sample. *)
+  let s = Sim.Stats.create "q" in
+  List.iter (fun x -> Sim.Stats.add s (float_of_int x)) [ 30; 10; 50; 20; 40; 90; 70; 100; 60; 80 ];
+  check_float "p0 = min" 10. (Sim.Stats.percentile s 0.);
+  check_float "p100 = max" 100. (Sim.Stats.percentile s 100.);
+  check_float "p50 interpolates" 55. (Sim.Stats.percentile s 50.);
+  check_float "p90 interpolates" 91. (Sim.Stats.percentile s 90.);
+  check_float "p99 below max" 99.1 (Sim.Stats.percentile s 99.);
+  (* the sorted cache must be invalidated by a later add *)
+  Sim.Stats.add s 0.;
+  check_float "cache invalidated on add" 0. (Sim.Stats.percentile s 0.);
+  check_float "p50 shifts with the new sample" 50. (Sim.Stats.percentile s 50.)
+
 (* Property tests *)
 
 let prop_heap_pops_sorted =
@@ -329,6 +345,7 @@ let suites =
         Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
         Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
         Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
         QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
         QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
       ] );
