@@ -12,7 +12,14 @@ type t = {
   mutable region_switches : int;
   mutable pages_scrubbed : int;
   mutable ept_perm_updates : int;
+  mutable grant_cache_hits : int;
+  tlb : Memory.Tlb.stats;
+      (** shared with every VM's software TLB so translation-cache
+          counters aggregate here *)
 }
 
 val create : unit -> t
+val tlb_hits : t -> int
+val tlb_misses : t -> int
+val walks_performed : t -> int
 val pp : Format.formatter -> t -> unit

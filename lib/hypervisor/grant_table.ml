@@ -31,6 +31,10 @@ type t = {
   page : Shared_page.t;
   guest : Shared_page.view; (* frontend's mapping *)
   hyp : Shared_page.view; (* hypervisor's direct view *)
+  (* Bumped by every mutation (declare/release/revoke_all) so the
+     hypervisor's grant-check cache can detect stale entries.  All
+     writes to the table page go through those three functions. *)
+  mutable generation : int;
 }
 
 exception Table_full
@@ -44,9 +48,11 @@ let create phys ~guest_vm =
     page;
     guest = Shared_page.view_of page guest_vm;
     hyp = Shared_page.hypervisor_view page;
+    generation = 0;
   }
 
 let page t = t.page
+let generation t = t.generation
 
 let kind_code = function
   | Copy_to_user _ -> 1
@@ -105,6 +111,7 @@ let declare t ops =
   List.iteri
     (fun i op -> write_entry t.guest ~slot:(start + i) ~op ~last:(i = n - 1))
     ops;
+  t.generation <- t.generation + 1;
   start
 
 (** Release a group once its file operation has completed. *)
@@ -119,7 +126,8 @@ let release t grant_ref =
   in
   if grant_ref < 0 || grant_ref >= capacity then
     invalid_arg "Grant_table.release: bad reference";
-  go grant_ref
+  go grant_ref;
+  t.generation <- t.generation + 1
 
 (** Revoke every outstanding declaration at once (driver-VM crash
     recovery: nothing the dead backend held may stay authorised).
@@ -132,6 +140,7 @@ let revoke_all t =
       incr cleared
     end
   done;
+  t.generation <- t.generation + 1;
   !cleared
 
 (** Outstanding (non-free) entries — 0 once every grant is released
@@ -163,11 +172,12 @@ let lookup t grant_ref =
 let range_within ~addr ~len ~decl_addr ~decl_len =
   len >= 0 && addr >= decl_addr && addr + len <= decl_addr + decl_len
 
-(** Does the declared group authorise [requested]?  A request is
-    covered when it falls inside a declared entry of the same kind —
-    drivers may copy a prefix or a piece of a declared buffer. *)
-let authorises t ~grant_ref ~requested =
-  let declared = lookup t grant_ref in
+(** Does a declared group authorise [requested]?  A request is covered
+    when it falls inside a declared entry of the same kind — drivers
+    may copy a prefix or a piece of a declared buffer.  Pure check
+    against an already-read group, so the hypervisor can validate from
+    its grant-check cache without touching the shared page. *)
+let authorises_ops declared ~requested =
   List.exists
     (fun decl ->
       match (decl, requested) with
@@ -179,6 +189,9 @@ let authorises t ~grant_ref ~requested =
           range_within ~addr:r.addr ~len:r.len ~decl_addr:d.addr ~decl_len:d.len
       | _ -> false)
     declared
+
+let authorises t ~grant_ref ~requested =
+  authorises_ops (lookup t grant_ref) ~requested
 
 let pp_op ppf = function
   | Copy_to_user { addr; len } -> Fmt.pf ppf "copy_to_user(0x%x, %d)" addr len

@@ -20,6 +20,11 @@ val capacity : int
 val create : Memory.Phys_mem.t -> guest_vm:Vm.t -> t
 val page : t -> Shared_page.t
 
+(** Mutation counter — bumped by {!declare}, {!release} and
+    {!revoke_all}; lets the hypervisor's grant-check cache detect
+    stale entries. *)
+val generation : t -> int
+
 (** Frontend: declare a group of operations; returns the grant
     reference the backend must attach to its requests. *)
 val declare : t -> op list -> int
@@ -40,5 +45,9 @@ val lookup : t -> int -> op list
 (** Hypervisor: does the declared group cover [requested]?  Requests
     inside a declared range of the same kind are covered. *)
 val authorises : t -> grant_ref:int -> requested:op -> bool
+
+(** Pure variant of {!authorises} over an already-read group (the
+    hypervisor's grant-check cache). *)
+val authorises_ops : op list -> requested:op -> bool
 
 val pp_op : Format.formatter -> op -> unit

@@ -11,6 +11,9 @@ type t = {
   audit : Audit.t;
   mutable vms : Vm.t list;
   grant_tables : (int, Grant_table.t) Hashtbl.t; (* vm id -> table *)
+  (* (vm id, grant_ref) -> declared group + the table generation it was
+     read at; stale generations fall through to a fresh shared-page scan *)
+  grant_cache : (int * int, Grant_table.op list * int) Hashtbl.t;
   (* (vm id, pt id, gva) -> gpa backing an mmap performed via map_page *)
   mmap_registry : (int * int * int, int) Hashtbl.t;
   (* (vm id, pid) -> process page table: how the hypervisor resolves a
@@ -31,6 +34,7 @@ let create phys =
     audit = Audit.create ();
     vms = [];
     grant_tables = Hashtbl.create 8;
+    grant_cache = Hashtbl.create 64;
     mmap_registry = Hashtbl.create 64;
     process_registry = Hashtbl.create 64;
     validate = true;
@@ -70,6 +74,8 @@ let create_vm t ~name ~kind ~mem_bytes =
       kind;
       phys = t.phys;
       ept;
+      (* all VM TLBs feed the hypervisor's audit counters *)
+      tlb = Memory.Tlb.create ~stats:t.audit.Audit.tlb ();
       gpa_alloc = Memory.Allocator.create ~base:0 ~size:mem_bytes;
       mem_bytes;
       grant_frame = None;
@@ -83,10 +89,13 @@ let find_vm t id = List.find_opt (fun vm -> Vm.id vm = id) t.vms
 
 (** Mark a VM dead (crash or explicit kill).  Its pending and future
     memory-operation requests are rejected — crash containment: a dead
-    driver VM can no longer touch guest memory. *)
+    driver VM can no longer touch guest memory.  Its cached
+    translations are dropped so nothing survives into a rebooted
+    instance. *)
 let kill_vm t vm =
   ignore t;
-  vm.Vm.alive <- false
+  vm.Vm.alive <- false;
+  Vm.flush_tlb vm
 
 (** Tear down every cross-VM mapping installed into [target] by
     {!map_page_into_process}: EPT entries are unmapped, the backing
@@ -137,7 +146,23 @@ let check_grant t ~target ~grant_ref ~requested =
     match Hashtbl.find_opt t.grant_tables (Vm.id target) with
     | None -> reject t "target guest has no grant table"
     | Some table ->
-        if not (Grant_table.authorises table ~grant_ref ~requested) then
+        (* The declared group is immutable between grant-table
+           mutations, so cache the shared-page scan keyed by the table
+           generation ({!Grant_table.generation}). *)
+        let gen = Grant_table.generation table in
+        let key = (Vm.id target, grant_ref) in
+        let declared =
+          match Hashtbl.find_opt t.grant_cache key with
+          | Some (ops, cached_gen) when cached_gen = gen ->
+              t.audit.Audit.grant_cache_hits <-
+                t.audit.Audit.grant_cache_hits + 1;
+              ops
+          | Some _ | None ->
+              let ops = Grant_table.lookup table grant_ref in
+              Hashtbl.replace t.grant_cache key (ops, gen);
+              ops
+        in
+        if not (Grant_table.authorises_ops declared ~requested) then
           reject t
             (Fmt.str "operation %a not declared under grant %d"
                Grant_table.pp_op requested grant_ref)
@@ -172,31 +197,38 @@ let check_caller t req =
   if Vm.id req.target = Vm.id req.caller then
     reject t "target must be a guest VM"
 
-(** Copy [len] bytes out of the target process's memory (the driver's
-    [copy_from_user]).  Translation is per page: guest PT walk, then
-    EPT walk (§5.2). *)
-let copy_from_process t req ~gva ~len =
+(** Copy [len] bytes out of the target process's memory into
+    [dst] at [dst_off] (the driver's [copy_from_user]).  Translation
+    is per page — guest PT walk then EPT walk (§5.2), both served from
+    the target VM's software TLB when warm — and the bytes land
+    directly in the caller's buffer: no intermediate allocation. *)
+let copy_from_process_into t req ~gva ~dst ~dst_off ~len =
   check_caller t req;
   check_grant t ~target:req.target ~grant_ref:req.grant_ref
     ~requested:(Grant_table.Copy_from_user { addr = gva; len });
-  let data =
-    try Vm.read_gva req.target ~pt:req.pt ~gva ~len
-    with Memory.Fault.Page_fault info ->
-      reject t (Fmt.str "target translation failed: %a" Memory.Fault.pp_info info)
-  in
-  t.audit.Audit.copy_bytes <- t.audit.Audit.copy_bytes + len;
+  (try Vm.read_gva_into req.target ~pt:req.pt ~gva ~dst ~dst_off ~len
+   with Memory.Fault.Page_fault info ->
+     reject t (Fmt.str "target translation failed: %a" Memory.Fault.pp_info info));
+  t.audit.Audit.copy_bytes <- t.audit.Audit.copy_bytes + len
+
+let copy_from_process t req ~gva ~len =
+  let data = Bytes.create len in
+  copy_from_process_into t req ~gva ~dst:data ~dst_off:0 ~len;
   data
 
 (** Copy into the target process's memory (the driver's
     [copy_to_user]). *)
-let copy_to_process t req ~gva ~data =
+let copy_to_process_from t req ~gva ~src ~src_off ~len =
   check_caller t req;
   check_grant t ~target:req.target ~grant_ref:req.grant_ref
-    ~requested:(Grant_table.Copy_to_user { addr = gva; len = Bytes.length data });
-  (try Vm.write_gva req.target ~pt:req.pt ~gva data
+    ~requested:(Grant_table.Copy_to_user { addr = gva; len });
+  (try Vm.write_gva_from req.target ~pt:req.pt ~gva ~src ~src_off ~len
    with Memory.Fault.Page_fault info ->
      reject t (Fmt.str "target translation failed: %a" Memory.Fault.pp_info info));
-  t.audit.Audit.copy_bytes <- t.audit.Audit.copy_bytes + Bytes.length data
+  t.audit.Audit.copy_bytes <- t.audit.Audit.copy_bytes + len
+
+let copy_to_process t req ~gva ~data =
+  copy_to_process_from t req ~gva ~src:data ~src_off:0 ~len:(Bytes.length data)
 
 (** Map one system-physical page into the target process at [gva]
     (backs the driver's [insert_pfn] during mmap/page-fault handling).
@@ -225,15 +257,21 @@ let map_page_into_process t req ~gva ~spa ~perms =
     kernel has already destroyed its own page-table leaf before the
     driver learns of the unmap (§5.2), so only the EPT needs fixing —
     but we tolerate (and clear) a still-present guest leaf, since a
-    malicious guest kernel might leave it. *)
-let unmap_page_from_process t ~target ~pt ~gva =
-  let key = (Vm.id target, Memory.Guest_pt.id pt, gva) in
+    malicious guest kernel might leave it.  Like every other
+    memory-operation hypercall, the request is validated against the
+    caller: a non-driver or dead VM cannot unmap guest pages.  The
+    radix-table mutations bump their generation counters, so any
+    software-TLB entry covering the torn-down page goes stale
+    immediately. *)
+let unmap_page_from_process t req ~gva =
+  check_caller t req;
+  let key = (Vm.id req.target, Memory.Guest_pt.id req.pt, gva) in
   match Hashtbl.find_opt t.mmap_registry key with
   | None -> reject t "unmap_page: no such mapping"
   | Some gpa ->
-      ignore (Memory.Guest_pt.unmap pt ~gva);
-      ignore (Memory.Ept.unmap target.Vm.ept ~gpa);
-      Memory.Allocator.unreserve target.Vm.gpa_alloc gpa;
+      ignore (Memory.Guest_pt.unmap req.pt ~gva);
+      ignore (Memory.Ept.unmap req.target.Vm.ept ~gpa);
+      Memory.Allocator.unreserve req.target.Vm.gpa_alloc gpa;
       Hashtbl.remove t.mmap_registry key;
       t.audit.Audit.unmaps_performed <- t.audit.Audit.unmaps_performed + 1
 

@@ -63,14 +63,23 @@ val copy_from_process : t -> request -> gva:int -> len:int -> bytes
 (** The driver's [copy_to_user] against a remote process. *)
 val copy_to_process : t -> request -> gva:int -> data:bytes -> unit
 
+(** Zero-copy variants: the bytes move between guest frames and a
+    caller-supplied buffer with no intermediate allocation — the
+    data-plane fast path. *)
+val copy_from_process_into :
+  t -> request -> gva:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val copy_to_process_from :
+  t -> request -> gva:int -> src:bytes -> src_off:int -> len:int -> unit
+
 (** Back one page of a process mapping: pick an unused guest-physical
     page, point the EPT at [spa], fix the guest page table's last
     level (the frontend prepared the others). *)
 val map_page_into_process :
   t -> request -> gva:int -> spa:int -> perms:Memory.Perm.t -> unit
 
-(** Tear down a {!map_page_into_process} mapping. *)
-val unmap_page_from_process :
-  t -> target:Vm.t -> pt:Memory.Guest_pt.t -> gva:int -> unit
+(** Tear down a {!map_page_into_process} mapping.  Validated against
+    the caller like every other memory-operation hypercall. *)
+val unmap_page_from_process : t -> request -> gva:int -> unit
 
 val mapped_via_hypervisor : t -> target:Vm.t -> pt:Memory.Guest_pt.t -> gva:int -> bool

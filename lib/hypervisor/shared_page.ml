@@ -77,23 +77,28 @@ let view_of t vm =
     check_bounds t ~offset ~len:(Bytes.length data);
     Vm.write_gpa vm ~gpa:(gpa + offset) data
   in
+  (* Scalars go through the VM's direct accessors (one TLB-cached
+     translation, no intermediate buffer) — the doorbell/slot-state
+     polls of the transport hammer these. *)
   {
     read;
     write;
     read_u32 =
       (fun ~offset ->
-        Int32.to_int (Bytes.get_int32_le (read ~offset ~len:4) 0) land 0xffffffff);
+        check_bounds t ~offset ~len:4;
+        Vm.read_gpa_u32 vm ~gpa:(gpa + offset));
     write_u32 =
       (fun ~offset v ->
-        let b = Bytes.create 4 in
-        Bytes.set_int32_le b 0 (Int32.of_int v);
-        write ~offset b);
-    read_u64 = (fun ~offset -> Bytes.get_int64_le (read ~offset ~len:8) 0);
+        check_bounds t ~offset ~len:4;
+        Vm.write_gpa_u32 vm ~gpa:(gpa + offset) v);
+    read_u64 =
+      (fun ~offset ->
+        check_bounds t ~offset ~len:8;
+        Vm.read_gpa_u64 vm ~gpa:(gpa + offset));
     write_u64 =
       (fun ~offset v ->
-        let b = Bytes.create 8 in
-        Bytes.set_int64_le b 0 v;
-        write ~offset b);
+        check_bounds t ~offset ~len:8;
+        Vm.write_gpa_u64 vm ~gpa:(gpa + offset) v);
   }
 
 (** The hypervisor's own view bypasses EPTs: it addresses the frames

@@ -1,7 +1,10 @@
-(** A virtual machine as the hypervisor sees it: an EPT, a
-    guest-physical allocator and an identity.  CPU memory accesses
-    from inside the VM go through the EPT with permission checks, so
-    protected-region reads fault exactly as §4.2 requires. *)
+(** A virtual machine as the hypervisor sees it: an EPT, a software
+    TLB, a guest-physical allocator and an identity.  CPU memory
+    accesses from inside the VM go through the EPT with permission
+    checks, so protected-region reads fault exactly as §4.2 requires.
+    Translations are cached in the per-VM software TLB; hits re-check
+    the cached leaf permissions and the source tables' generation
+    counters, so stale entries never outlive revoked mappings. *)
 
 type kind = Guest | Driver
 
@@ -11,6 +14,7 @@ type t = {
   kind : kind;
   phys : Memory.Phys_mem.t;
   ept : Memory.Ept.t;
+  tlb : Memory.Tlb.t;
   gpa_alloc : Memory.Allocator.t;
   mem_bytes : int;
   mutable grant_frame : int option;
@@ -22,18 +26,52 @@ val name : t -> string
 val kind : t -> kind
 val ept : t -> Memory.Ept.t
 val phys : t -> Memory.Phys_mem.t
+val tlb : t -> Memory.Tlb.t
 val alive : t -> bool
+
+(** Drop every cached translation (VM teardown, explicit shootdown). *)
+val flush_tlb : t -> unit
+
+(** TLB-cached translations; raise exactly the faults the underlying
+    walks would ({!Memory.Fault.Ept_violation} /
+    {!Memory.Fault.Page_fault}). *)
+val translate_gpa : t -> gpa:int -> access:Memory.Perm.access -> int
+
+val translate_gva :
+  t -> pt:Memory.Guest_pt.t -> gva:int -> access:Memory.Perm.access -> int
 
 (** CPU access to guest-physical memory (EPT-checked). *)
 val read_gpa : t -> gpa:int -> len:int -> bytes
 
 val write_gpa : t -> gpa:int -> bytes -> unit
 
+(** Zero-copy variants blitting straight between frames and a
+    caller-supplied buffer. *)
+val read_gpa_into : t -> gpa:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val write_gpa_from : t -> gpa:int -> src:bytes -> src_off:int -> len:int -> unit
+
 (** Two-level access through a process page table then the EPT — the
     path every simulated application load/store takes. *)
 val read_gva : t -> pt:Memory.Guest_pt.t -> gva:int -> len:int -> bytes
 
 val write_gva : t -> pt:Memory.Guest_pt.t -> gva:int -> bytes -> unit
+
+val read_gva_into :
+  t -> pt:Memory.Guest_pt.t -> gva:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val write_gva_from :
+  t -> pt:Memory.Guest_pt.t -> gva:int -> src:bytes -> src_off:int -> len:int -> unit
+
+(** Scalar accessors: one cached translation plus a direct frame
+    access — no intermediate buffer. *)
+val read_gpa_u8 : t -> gpa:int -> int
+
+val write_gpa_u8 : t -> gpa:int -> int -> unit
+val read_gpa_u32 : t -> gpa:int -> int
+val write_gpa_u32 : t -> gpa:int -> int -> unit
+val read_gpa_u64 : t -> gpa:int -> int64
+val write_gpa_u64 : t -> gpa:int -> int64 -> unit
 val read_gva_u32 : t -> pt:Memory.Guest_pt.t -> gva:int -> int
 val write_gva_u32 : t -> pt:Memory.Guest_pt.t -> gva:int -> int -> unit
 val read_gva_u64 : t -> pt:Memory.Guest_pt.t -> gva:int -> int64

@@ -19,13 +19,16 @@ let map t ~gpa ~spa ~perms =
 
 let unmap t ~gpa = Radix_table.unmap t.table (Addr.pfn gpa)
 
-let translate t ~gpa ~access =
+let translate_leaf t ~gpa ~access =
   match Radix_table.walk t.table (Addr.pfn gpa) with
   | Radix_table.Mapped { target_pfn; perms } ->
-      if Perm.allows perms access then Addr.of_pfn target_pfn lor Addr.offset gpa
+      if Perm.allows perms access then
+        (Addr.of_pfn target_pfn lor Addr.offset gpa, perms)
       else Fault.ept_violation ~addr:gpa ~access "permission denied"
   | Radix_table.Missing_level _ | Radix_table.Not_present ->
       Fault.ept_violation ~addr:gpa ~access "not mapped"
+
+let translate t ~gpa ~access = fst (translate_leaf t ~gpa ~access)
 
 let translate_opt t ~gpa ~access =
   match translate t ~gpa ~access with
@@ -46,6 +49,10 @@ let set_perms t ~gpa ~perms =
   Radix_table.set_perms t.table ~vfn:(Addr.pfn gpa) ~perms
 
 let mapped_count t = Radix_table.mapped_count t.table
+
+(** Mutation counter for software-TLB invalidation (see
+    {!Radix_table.generation}); map/unmap/set_perms all bump it. *)
+let generation t = Radix_table.generation t.table
 
 (** Reverse lookup: all guest-physical pages mapping to [spn].  Linear
     in the number of mappings; used only by isolation setup, never on

@@ -11,7 +11,15 @@ val unmap : t -> gpa:int -> bool
 (** Hardware walk; raises {!Fault.Ept_violation}. *)
 val translate : t -> gpa:int -> access:Perm.access -> int
 
+(** As {!translate} but also returns the leaf permissions — software
+    TLB fills need them to keep permission checks on at hit time. *)
+val translate_leaf : t -> gpa:int -> access:Perm.access -> int * Perm.t
+
 val translate_opt : t -> gpa:int -> access:Perm.access -> int option
+
+(** Mutation counter for software-TLB invalidation
+    ({!Radix_table.generation}). *)
+val generation : t -> int
 
 (** Hypervisor-internal lookup: sees the mapping regardless of the
     permissions that constrain the VM. *)

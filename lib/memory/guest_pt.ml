@@ -38,12 +38,15 @@ let unmap t ~gva =
   Radix_table.unmap t.table (Addr.pfn gva)
 
 (** Software walk used by both the guest MMU model and the hypervisor.
-    Returns the guest physical address, preserving the page offset. *)
-let translate t ~gva ~access =
+    Returns the guest physical address (preserving the page offset)
+    together with the leaf permissions — the latter feed software-TLB
+    fills. *)
+let translate_leaf t ~gva ~access =
   check_va gva;
   match Radix_table.walk t.table (Addr.pfn gva) with
   | Radix_table.Mapped { target_pfn; perms } ->
-      if Perm.allows perms access then Addr.of_pfn target_pfn lor Addr.offset gva
+      if Perm.allows perms access then
+        (Addr.of_pfn target_pfn lor Addr.offset gva, perms)
       else
         Fault.page_fault ~space:Fault.Guest_virtual ~addr:gva ~access
           "permission denied"
@@ -52,6 +55,8 @@ let translate t ~gva ~access =
         (Printf.sprintf "missing level-%d table" lvl)
   | Radix_table.Not_present ->
       Fault.page_fault ~space:Fault.Guest_virtual ~addr:gva ~access "not present"
+
+let translate t ~gva ~access = fst (translate_leaf t ~gva ~access)
 
 let translate_opt t ~gva ~access =
   match translate t ~gva ~access with
@@ -71,6 +76,10 @@ let prepare_range t ~gva ~len =
 let leaf_ready t ~gva = Radix_table.intermediate_present t.table (Addr.pfn gva)
 
 let mapped_count t = Radix_table.mapped_count t.table
+
+(** Mutation counter for software-TLB invalidation (see
+    {!Radix_table.generation}). *)
+let generation t = Radix_table.generation t.table
 
 let iter t f =
   Radix_table.iter t.table (fun vfn leaf ->

@@ -15,7 +15,15 @@ val unmap : t -> gva:int -> bool
 (** Software walk; raises {!Fault.Page_fault}. *)
 val translate : t -> gva:int -> access:Perm.access -> int
 
+(** As {!translate} but also returns the leaf permissions — software
+    TLB fills need them to keep permission checks on at hit time. *)
+val translate_leaf : t -> gva:int -> access:Perm.access -> int * Perm.t
+
 val translate_opt : t -> gva:int -> access:Perm.access -> int option
+
+(** Mutation counter for software-TLB invalidation
+    ({!Radix_table.generation}). *)
+val generation : t -> int
 
 (** Pre-create intermediate levels for a range, leaving leaves to the
     hypervisor (§5.2). *)

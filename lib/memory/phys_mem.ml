@@ -69,53 +69,97 @@ let backing t ~spn ~access =
   | None ->
       Fault.bus_error ~addr:(Addr.of_pfn spn) ~access "unpopulated frame"
 
+(** Zero-copy read: blit [len] bytes at system physical address [spa]
+    into [dst] at [dst_off].  May cross frame boundaries; no
+    intermediate buffer is allocated (the data-plane fast path). *)
+let read_into t ~spa ~dst ~dst_off ~len =
+  if len < 0 then invalid_arg "Phys_mem.read_into: negative length";
+  if dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Phys_mem.read_into: destination range out of bounds";
+  let pos = ref dst_off in
+  Addr.iter_page_chunks ~addr:spa ~len (fun addr chunk ->
+      let spn = Addr.pfn addr and off = Addr.offset addr in
+      (match backing t ~spn ~access:Perm.Read with
+      | Ram frame -> Bytes.blit frame off dst !pos chunk
+      | Unbacked -> assert false (* materialised by [backing] *)
+      | Mmio h -> Bytes.blit (h.mmio_read ~offset:off ~len:chunk) 0 dst !pos chunk);
+      pos := !pos + chunk)
+
+(** Zero-copy write: blit [len] bytes of [src] from [src_off] to
+    system physical address [spa]. *)
+let write_from t ~spa ~src ~src_off ~len =
+  if len < 0 then invalid_arg "Phys_mem.write_from: negative length";
+  if src_off < 0 || src_off + len > Bytes.length src then
+    invalid_arg "Phys_mem.write_from: source range out of bounds";
+  let pos = ref src_off in
+  Addr.iter_page_chunks ~addr:spa ~len (fun addr chunk ->
+      let spn = Addr.pfn addr and off = Addr.offset addr in
+      (match backing t ~spn ~access:Perm.Write with
+      | Ram frame -> Bytes.blit src !pos frame off chunk
+      | Unbacked -> assert false (* materialised by [backing] *)
+      | Mmio h -> h.mmio_write ~offset:off (Bytes.sub src !pos chunk));
+      pos := !pos + chunk)
+
 (** Read [len] bytes at system physical address [spa].  May cross frame
     boundaries. *)
 let read t ~spa ~len =
   if len < 0 then invalid_arg "Phys_mem.read: negative length";
   let out = Bytes.create len in
-  let pos = ref 0 in
-  List.iter
-    (fun (addr, chunk) ->
-      let spn = Addr.pfn addr and off = Addr.offset addr in
-      (match backing t ~spn ~access:Perm.Read with
-      | Ram frame -> Bytes.blit frame off out !pos chunk
-      | Unbacked -> assert false (* materialised by [backing] *)
-      | Mmio h -> Bytes.blit (h.mmio_read ~offset:off ~len:chunk) 0 out !pos chunk);
-      pos := !pos + chunk)
-    (Addr.page_chunks ~addr:spa ~len);
+  read_into t ~spa ~dst:out ~dst_off:0 ~len;
   out
 
 (** Write [data] at system physical address [spa]. *)
-let write t ~spa data =
-  let len = Bytes.length data in
-  let pos = ref 0 in
-  List.iter
-    (fun (addr, chunk) ->
-      let spn = Addr.pfn addr and off = Addr.offset addr in
-      (match backing t ~spn ~access:Perm.Write with
-      | Ram frame -> Bytes.blit data !pos frame off chunk
-      | Unbacked -> assert false (* materialised by [backing] *)
-      | Mmio h -> h.mmio_write ~offset:off (Bytes.sub data !pos chunk));
-      pos := !pos + chunk)
-    (Addr.page_chunks ~addr:spa ~len)
+let write t ~spa data = write_from t ~spa ~src:data ~src_off:0 ~len:(Bytes.length data)
 
-let read_u8 t ~spa = Char.code (Bytes.get (read t ~spa ~len:1) 0)
-let write_u8 t ~spa v = write t ~spa (Bytes.make 1 (Char.chr (v land 0xff)))
+(* Scalar accessors address the backing frame directly — no
+   intermediate buffer.  These carry the descriptor-ring doorbell
+   path, so a fresh [Bytes] per slot-state poll would be pure harness
+   overhead.  Scalars straddling a frame boundary (misaligned by
+   design only in tests) fall back to the buffered path. *)
 
-let read_u32 t ~spa = Int32.to_int (Bytes.get_int32_le (read t ~spa ~len:4) 0) land 0xffffffff
+let[@inline] direct_frame t ~spa ~access ~width =
+  if Addr.offset spa + width <= Addr.page_size then
+    match backing t ~spn:(Addr.pfn spa) ~access with
+    | Ram frame -> Some frame
+    | Unbacked -> assert false (* materialised by [backing] *)
+    | Mmio _ -> None
+  else None
+
+let read_u8 t ~spa =
+  match direct_frame t ~spa ~access:Perm.Read ~width:1 with
+  | Some frame -> Char.code (Bytes.get frame (Addr.offset spa))
+  | None -> Char.code (Bytes.get (read t ~spa ~len:1) 0)
+
+let write_u8 t ~spa v =
+  match direct_frame t ~spa ~access:Perm.Write ~width:1 with
+  | Some frame -> Bytes.set frame (Addr.offset spa) (Char.chr (v land 0xff))
+  | None -> write t ~spa (Bytes.make 1 (Char.chr (v land 0xff)))
+
+let read_u32 t ~spa =
+  match direct_frame t ~spa ~access:Perm.Read ~width:4 with
+  | Some frame -> Int32.to_int (Bytes.get_int32_le frame (Addr.offset spa)) land 0xffffffff
+  | None -> Int32.to_int (Bytes.get_int32_le (read t ~spa ~len:4) 0) land 0xffffffff
 
 let write_u32 t ~spa v =
-  let b = Bytes.create 4 in
-  Bytes.set_int32_le b 0 (Int32.of_int v);
-  write t ~spa b
+  match direct_frame t ~spa ~access:Perm.Write ~width:4 with
+  | Some frame -> Bytes.set_int32_le frame (Addr.offset spa) (Int32.of_int v)
+  | None ->
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int v);
+      write t ~spa b
 
-let read_u64 t ~spa = Bytes.get_int64_le (read t ~spa ~len:8) 0
+let read_u64 t ~spa =
+  match direct_frame t ~spa ~access:Perm.Read ~width:8 with
+  | Some frame -> Bytes.get_int64_le frame (Addr.offset spa)
+  | None -> Bytes.get_int64_le (read t ~spa ~len:8) 0
 
 let write_u64 t ~spa v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 v;
-  write t ~spa b
+  match direct_frame t ~spa ~access:Perm.Write ~width:8 with
+  | Some frame -> Bytes.set_int64_le frame (Addr.offset spa) v
+  | None ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 v;
+      write t ~spa b
 
 (** Zero a whole frame — the hypervisor scrubs protected-region pages
     before recycling them between guests (§5.3 change (i)). *)

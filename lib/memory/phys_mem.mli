@@ -28,6 +28,13 @@ val is_mmio : t -> int -> bool
 val read : t -> spa:int -> len:int -> bytes
 
 val write : t -> spa:int -> bytes -> unit
+
+(** Zero-copy blits into/from a caller-supplied buffer — the
+    data-plane fast path; no intermediate allocation.  Scalar
+    accessors below likewise address the backing frame directly. *)
+val read_into : t -> spa:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val write_from : t -> spa:int -> src:bytes -> src_off:int -> len:int -> unit
 val read_u8 : t -> spa:int -> int
 val write_u8 : t -> spa:int -> int -> unit
 val read_u32 : t -> spa:int -> int

@@ -6,44 +6,73 @@
     software page walks (§5.2), the CVD frontend's creation of "all
     missing levels except the last one", and the EPT permission
     stripping of §4.2 all operate on this structure, so it models
-    individual levels explicitly rather than being a flat map. *)
+    individual levels explicitly rather than being a flat map.
+
+    Walks are allocation-free: per-level shifts and masks are
+    precomputed at {!create} and every traversal is an iterative
+    descent indexed by level number — this is the hottest loop in the
+    repo (every data-plane byte crosses at least one walk).
+
+    A {e generation counter} is bumped on every mutation that can
+    change the outcome of a translation ([map], [unmap], [set_perms]).
+    Software TLBs ({!Tlb}) record the generation at fill time and
+    treat any mismatch as a miss, so a cached translation can never
+    outlive a revoked or modified mapping. *)
 
 type node = { entries : entry array }
 and entry = Empty | Table of node | Leaf of leaf
 and leaf = { target_pfn : int; perms : Perm.t }
 
 type t = {
-  widths : int list; (* bits consumed per level, root first *)
+  widths : int array; (* bits consumed per level, root first *)
+  shifts : int array; (* right-shift isolating each level's index *)
+  masks : int array; (* (1 lsl width) - 1 per level *)
+  total_bits : int;
   root : node;
   mutable mapped : int;
   mutable nodes : int;
+  mutable generation : int; (* bumped on map/unmap/set_perms *)
 }
 
 let make_node width = { entries = Array.make (1 lsl width) Empty }
 
 let create ~widths =
-  (match widths with
+  match widths with
   | [] -> invalid_arg "Radix_table.create: no levels"
-  | w :: _ -> { widths; root = make_node w; mapped = 0; nodes = 1 })
+  | w :: _ ->
+      let widths = Array.of_list widths in
+      let n = Array.length widths in
+      let shifts = Array.make n 0 and masks = Array.make n 0 in
+      let total_bits = Array.fold_left ( + ) 0 widths in
+      let shift = ref total_bits in
+      for i = 0 to n - 1 do
+        shift := !shift - widths.(i);
+        shifts.(i) <- !shift;
+        masks.(i) <- (1 lsl widths.(i)) - 1
+      done;
+      {
+        widths;
+        shifts;
+        masks;
+        total_bits;
+        root = make_node w;
+        mapped = 0;
+        nodes = 1;
+        generation = 0;
+      }
 
-let levels t = List.length t.widths
+let levels t = Array.length t.widths
 
 let mapped_count t = t.mapped
 let node_count t = t.nodes
+let generation t = t.generation
 
-(* Split a virtual frame number into per-level indices, root first. *)
-let indices t vfn =
-  let total_bits = List.fold_left ( + ) 0 t.widths in
-  if vfn lsr total_bits <> 0 then
-    invalid_arg "Radix_table: frame number out of addressable range";
-  let rec go widths shift =
-    match widths with
-    | [] -> []
-    | w :: rest ->
-        let shift' = shift - w in
-        ((vfn lsr shift') land ((1 lsl w) - 1)) :: go rest shift'
-  in
-  go t.widths total_bits
+let check_range t vfn =
+  if vfn lsr t.total_bits <> 0 then
+    invalid_arg "Radix_table: frame number out of addressable range"
+
+(* Index of [vfn] at level [i] (root = 0). *)
+let[@inline] index t vfn i = (vfn lsr t.shifts.(i)) land t.masks.(i)
 
 (** Outcome of a software walk, reported level by level so callers can
     see exactly where translation stopped. *)
@@ -53,21 +82,22 @@ type walk_result =
   | Not_present (* all intermediate levels exist; final entry empty *)
 
 let walk t vfn =
-  let rec go node = function
-    | [] -> assert false
-    | [ idx ] ->
-        (match node.entries.(idx) with
-        | Leaf leaf -> Mapped leaf
-        | Empty -> Not_present
-        | Table _ -> invalid_arg "Radix_table.walk: table at leaf level")
-    | idx :: rest ->
-        (match node.entries.(idx) with
-        | Table next -> go next rest
-        | Empty ->
-            Missing_level (levels t - List.length rest - 1)
-        | Leaf _ -> invalid_arg "Radix_table.walk: leaf at interior level")
+  check_range t vfn;
+  let last = levels t - 1 in
+  let rec go node i =
+    let idx = index t vfn i in
+    if i = last then
+      match node.entries.(idx) with
+      | Leaf leaf -> Mapped leaf
+      | Empty -> Not_present
+      | Table _ -> invalid_arg "Radix_table.walk: table at leaf level"
+    else
+      match node.entries.(idx) with
+      | Table next -> go next (i + 1)
+      | Empty -> Missing_level i
+      | Leaf _ -> invalid_arg "Radix_table.walk: leaf at interior level"
   in
-  go t.root (indices t vfn)
+  go t.root 0
 
 let lookup t vfn =
   match walk t vfn with Mapped leaf -> Some leaf | Missing_level _ | Not_present -> None
@@ -76,24 +106,20 @@ let lookup t vfn =
     level — the CVD frontend does exactly this for mmap ranges before
     forwarding, leaving the last level for the hypervisor (§5.2). *)
 let ensure_intermediate t vfn =
-  let rec descend node idxs widths =
-    match (idxs, widths) with
-    | [ _ ], _ -> ()
-    | idx :: rest_idx, _ :: (next_w :: _ as rest_w) ->
-        let next =
-          match node.entries.(idx) with
-          | Table n -> n
-          | Empty ->
-              let n = make_node next_w in
-              node.entries.(idx) <- Table n;
-              t.nodes <- t.nodes + 1;
-              n
-          | Leaf _ -> invalid_arg "Radix_table.ensure_intermediate: leaf at interior level"
-        in
-        descend next rest_idx rest_w
-    | _ -> assert false
-  in
-  descend t.root (indices t vfn) t.widths
+  check_range t vfn;
+  let last = levels t - 1 in
+  let node = ref t.root in
+  for i = 0 to last - 1 do
+    let idx = index t vfn i in
+    match !node.entries.(idx) with
+    | Table next -> node := next
+    | Empty ->
+        let n = make_node t.widths.(i + 1) in
+        !node.entries.(idx) <- Table n;
+        t.nodes <- t.nodes + 1;
+        node := n
+    | Leaf _ -> invalid_arg "Radix_table.ensure_intermediate: leaf at interior level"
+  done
 
 (** True iff every intermediate level for [vfn] already exists. *)
 let intermediate_present t vfn =
@@ -103,39 +129,42 @@ let intermediate_present t vfn =
 
 let map t ~vfn ~pfn ~perms =
   ensure_intermediate t vfn;
-  let rec descend node = function
-    | [ idx ] ->
-        (match node.entries.(idx) with
-        | Empty -> t.mapped <- t.mapped + 1
-        | Leaf _ -> ()
-        | Table _ -> invalid_arg "Radix_table.map: table at leaf level");
-        node.entries.(idx) <- Leaf { target_pfn = pfn; perms }
-    | idx :: rest ->
-        (match node.entries.(idx) with
-        | Table next -> descend next rest
-        | Empty | Leaf _ -> assert false)
-    | [] -> assert false
-  in
-  descend t.root (indices t vfn)
+  let last = levels t - 1 in
+  let node = ref t.root in
+  for i = 0 to last - 1 do
+    match !node.entries.(index t vfn i) with
+    | Table next -> node := next
+    | Empty | Leaf _ -> assert false (* ensure_intermediate ran *)
+  done;
+  let idx = index t vfn last in
+  (match !node.entries.(idx) with
+  | Empty -> t.mapped <- t.mapped + 1
+  | Leaf _ -> ()
+  | Table _ -> invalid_arg "Radix_table.map: table at leaf level");
+  !node.entries.(idx) <- Leaf { target_pfn = pfn; perms };
+  t.generation <- t.generation + 1
 
 let unmap t vfn =
-  let rec descend node = function
-    | [ idx ] ->
-        (match node.entries.(idx) with
-        | Leaf _ ->
-            node.entries.(idx) <- Empty;
-            t.mapped <- t.mapped - 1;
-            true
-        | Empty -> false
-        | Table _ -> invalid_arg "Radix_table.unmap: table at leaf level")
-    | idx :: rest ->
-        (match node.entries.(idx) with
-        | Table next -> descend next rest
-        | Empty -> false
-        | Leaf _ -> assert false)
-    | [] -> assert false
+  check_range t vfn;
+  let last = levels t - 1 in
+  let rec go node i =
+    let idx = index t vfn i in
+    if i = last then
+      match node.entries.(idx) with
+      | Leaf _ ->
+          node.entries.(idx) <- Empty;
+          t.mapped <- t.mapped - 1;
+          t.generation <- t.generation + 1;
+          true
+      | Empty -> false
+      | Table _ -> invalid_arg "Radix_table.unmap: table at leaf level"
+    else
+      match node.entries.(idx) with
+      | Table next -> go next (i + 1)
+      | Empty -> false
+      | Leaf _ -> assert false
   in
-  descend t.root (indices t vfn)
+  go t.root 0
 
 (** Replace the permissions of an existing mapping.  Raises
     [Not_found] when [vfn] is unmapped: permission surgery on absent
@@ -147,11 +176,10 @@ let set_perms t ~vfn ~perms =
 
 let iter t f =
   (* Depth-first, reconstructing each vfn from the index path. *)
-  let widths = Array.of_list t.widths in
   let rec go node depth acc =
     Array.iteri
       (fun idx entry ->
-        let acc = (acc lsl widths.(depth)) lor idx in
+        let acc = (acc lsl t.widths.(depth)) lor idx in
         match entry with
         | Empty -> ()
         | Table next -> go next (depth + 1) acc

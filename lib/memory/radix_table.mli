@@ -15,6 +15,13 @@ val levels : t -> int
 val mapped_count : t -> int
 val node_count : t -> int
 
+(** Mutation counter: bumped by every {!map}, successful {!unmap} and
+    {!set_perms}.  Software TLBs record it at fill time; a mismatch on
+    lookup means the cached translation may be stale and must be
+    re-walked — the invalidation rule that keeps cached translations
+    from outliving revoked mappings (§4.1). *)
+val generation : t -> int
+
 type walk_result =
   | Mapped of leaf
   | Missing_level of int (** intermediate table absent at this depth *)

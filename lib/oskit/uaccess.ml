@@ -36,12 +36,16 @@ let with_recorder f body =
 
 let record op = match !recorder with Some f -> f op | None -> ()
 
-(** Driver reads [len] bytes from the current process at [uaddr]. *)
-let copy_from_user task ~uaddr ~len =
+(** Driver reads [len] bytes from the current process at [uaddr] into
+    [dst] at [dst_off] — zero-copy: the bytes land in the driver's
+    buffer with no intermediate allocation, local and remote alike. *)
+let copy_from_user_into task ~uaddr ~dst ~dst_off ~len =
   record (Rec_copy_from { uaddr; len });
   match task.remote with
   | None -> (
-      try Hypervisor.Vm.read_gva task.vm ~pt:task.pt ~gva:uaddr ~len
+      try
+        Hypervisor.Vm.read_gva_into task.vm ~pt:task.pt ~gva:uaddr ~dst ~dst_off
+          ~len
       with Memory.Fault.Page_fault _ -> Errno.fail Errno.EFAULT "bad user pointer")
   | Some rc -> (
       rc.rc_charge 1.;
@@ -53,28 +57,46 @@ let copy_from_user task ~uaddr ~len =
           grant_ref = rc.rc_grant;
         }
       in
-      try Hypervisor.Hyp.copy_from_process rc.rc_hyp req ~gva:uaddr ~len
+      try
+        Hypervisor.Hyp.copy_from_process_into rc.rc_hyp req ~gva:uaddr ~dst
+          ~dst_off ~len
+      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+
+(** Driver reads [len] bytes from the current process at [uaddr]. *)
+let copy_from_user task ~uaddr ~len =
+  let dst = Bytes.create len in
+  copy_from_user_into task ~uaddr ~dst ~dst_off:0 ~len;
+  dst
+
+(** Driver writes [len] bytes of [src] from [src_off] into the current
+    process at [uaddr] — zero-copy counterpart of
+    {!copy_from_user_into}. *)
+let copy_to_user_from task ~uaddr ~src ~src_off ~len =
+  record (Rec_copy_to { uaddr; len });
+  match task.remote with
+  | None -> (
+      try
+        Hypervisor.Vm.write_gva_from task.vm ~pt:task.pt ~gva:uaddr ~src ~src_off
+          ~len
+      with Memory.Fault.Page_fault _ -> Errno.fail Errno.EFAULT "bad user pointer")
+  | Some rc -> (
+      rc.rc_charge 1.;
+      let req =
+        {
+          Hypervisor.Hyp.caller = task.vm;
+          target = rc.rc_target;
+          pt = rc.rc_pt;
+          grant_ref = rc.rc_grant;
+        }
+      in
+      try
+        Hypervisor.Hyp.copy_to_process_from rc.rc_hyp req ~gva:uaddr ~src
+          ~src_off ~len
       with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
 
 (** Driver writes [data] into the current process at [uaddr]. *)
 let copy_to_user task ~uaddr data =
-  record (Rec_copy_to { uaddr; len = Bytes.length data });
-  match task.remote with
-  | None -> (
-      try Hypervisor.Vm.write_gva task.vm ~pt:task.pt ~gva:uaddr data
-      with Memory.Fault.Page_fault _ -> Errno.fail Errno.EFAULT "bad user pointer")
-  | Some rc -> (
-      rc.rc_charge 1.;
-      let req =
-        {
-          Hypervisor.Hyp.caller = task.vm;
-          target = rc.rc_target;
-          pt = rc.rc_pt;
-          grant_ref = rc.rc_grant;
-        }
-      in
-      try Hypervisor.Hyp.copy_to_process rc.rc_hyp req ~gva:uaddr ~data
-      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+  copy_to_user_from task ~uaddr ~src:data ~src_off:0 ~len:(Bytes.length data)
 
 let copy_from_user_u32 task ~uaddr =
   Int32.to_int (Bytes.get_int32_le (copy_from_user task ~uaddr ~len:4) 0)
@@ -130,9 +152,15 @@ let remove_pfn task ~gva =
   | None -> ignore (Memory.Guest_pt.unmap task.pt ~gva)
   | Some rc -> (
       rc.rc_charge 1.;
-      try
-        Hypervisor.Hyp.unmap_page_from_process rc.rc_hyp ~target:rc.rc_target
-          ~pt:rc.rc_pt ~gva
+      let req =
+        {
+          Hypervisor.Hyp.caller = task.vm;
+          target = rc.rc_target;
+          pt = rc.rc_pt;
+          grant_ref = rc.rc_grant;
+        }
+      in
+      try Hypervisor.Hyp.unmap_page_from_process rc.rc_hyp req ~gva
       with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
 
 (** Number of kernel entry points the wrapper stubs intercept; the

@@ -19,6 +19,14 @@ val with_recorder : (recorded_op -> unit) -> (unit -> 'a) -> 'a
 val copy_from_user : task -> uaddr:int -> len:int -> bytes
 
 val copy_to_user : task -> uaddr:int -> bytes -> unit
+
+(** Zero-copy variants against a caller-supplied buffer — no
+    intermediate allocation, local and remote alike. *)
+val copy_from_user_into :
+  task -> uaddr:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val copy_to_user_from :
+  task -> uaddr:int -> src:bytes -> src_off:int -> len:int -> unit
 val copy_from_user_u32 : task -> uaddr:int -> int
 val copy_to_user_u32 : task -> uaddr:int -> int -> unit
 val copy_from_user_u64 : task -> uaddr:int -> int64

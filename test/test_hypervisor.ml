@@ -246,7 +246,7 @@ let test_map_page_into_process () =
           ~len:9));
   Alcotest.(check bool) "registry knows the mapping" true
     (Hyp.mapped_via_hypervisor hyp ~target:guest ~pt ~gva);
-  Hyp.unmap_page_from_process hyp ~target:guest ~pt ~gva;
+  Hyp.unmap_page_from_process hyp req ~gva;
   Alcotest.(check (option int)) "va no longer translates" None
     (Memory.Guest_pt.translate_opt pt ~gva ~access:Memory.Perm.Read)
 

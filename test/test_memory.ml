@@ -241,7 +241,78 @@ let test_radix_node_counting () =
   Alcotest.(check int) "same tables reused" 3 (Radix_table.node_count t);
   Alcotest.(check int) "two mappings" 2 (Radix_table.mapped_count t)
 
+let test_radix_generation () =
+  let t = Radix_table.create ~widths:[ 9; 9; 9 ] in
+  let g0 = Radix_table.generation t in
+  Radix_table.map t ~vfn:3 ~pfn:9 ~perms:Perm.rw;
+  Alcotest.(check bool) "map bumps" true (Radix_table.generation t > g0);
+  let g1 = Radix_table.generation t in
+  Radix_table.set_perms t ~vfn:3 ~perms:Perm.r;
+  Alcotest.(check bool) "set_perms bumps" true (Radix_table.generation t > g1);
+  let g2 = Radix_table.generation t in
+  Alcotest.(check bool) "unmap of absent vfn is a no-op" false
+    (Radix_table.unmap t 77);
+  Alcotest.(check int) "failed unmap does not bump" g2 (Radix_table.generation t);
+  Alcotest.(check bool) "unmap removes" true (Radix_table.unmap t 3);
+  Alcotest.(check bool) "successful unmap bumps" true
+    (Radix_table.generation t > g2)
+
+let test_read_into_write_from () =
+  let mem = Phys_mem.create () in
+  let base = Phys_mem.alloc_frames mem 4 in
+  let spa = Addr.of_pfn base + Addr.page_size - 3 in
+  (* cross-frame blit out of the middle of a caller buffer *)
+  let src = Bytes.of_string "..cross-frame payload.." in
+  Phys_mem.write_from mem ~spa ~src ~src_off:2 ~len:19;
+  let dst = Bytes.make 24 '#' in
+  Phys_mem.read_into mem ~spa ~dst ~dst_off:3 ~len:19;
+  Alcotest.(check string) "offset blit round trip" "###cross-frame payload##"
+    (Bytes.to_string dst);
+  Alcotest.(check bool) "out-of-bounds destination refused" true
+    (match Phys_mem.read_into mem ~spa ~dst ~dst_off:20 ~len:19 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative length refused" true
+    (match Phys_mem.write_from mem ~spa ~src ~src_off:0 ~len:(-1) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_scalars_cross_page_and_mmio () =
+  let mem = Phys_mem.create () in
+  let base = Phys_mem.alloc_frames mem 2 in
+  (* a u32 straddling the frame boundary takes the buffered fallback *)
+  let spa = Addr.of_pfn base + Addr.page_size - 2 in
+  Phys_mem.write_u32 mem ~spa 0xdeadbeef;
+  Alcotest.(check int) "cross-frame u32 round trip" 0xdeadbeef
+    (Phys_mem.read_u32 mem ~spa);
+  Phys_mem.write_u64 mem ~spa 0x0123456789abcdefL;
+  Alcotest.(check int64) "cross-frame u64 round trip" 0x0123456789abcdefL
+    (Phys_mem.read_u64 mem ~spa);
+  (* scalars on MMIO pages still go through the handler *)
+  let backing = Bytes.make Addr.page_size '\000' in
+  let handler =
+    {
+      Phys_mem.mmio_read =
+        (fun ~offset ~len -> Bytes.sub backing offset len);
+      mmio_write =
+        (fun ~offset data ->
+          Bytes.blit data 0 backing offset (Bytes.length data));
+    }
+  in
+  let mmio_spn = Phys_mem.alloc_mmio mem handler in
+  Phys_mem.write_u32 mem ~spa:(Addr.of_pfn mmio_spn + 8) 0x1234;
+  Alcotest.(check int) "mmio u32 routed through handler" 0x1234
+    (Phys_mem.read_u32 mem ~spa:(Addr.of_pfn mmio_spn + 8))
+
 (* --- property tests --- *)
+
+let prop_iter_page_chunks_equiv =
+  QCheck.Test.make ~name:"iter_page_chunks visits exactly page_chunks" ~count:500
+    QCheck.(pair (int_bound 100_000) (int_bound 20_000))
+    (fun (addr, len) ->
+      let visited = ref [] in
+      Addr.iter_page_chunks ~addr ~len (fun a l -> visited := (a, l) :: !visited);
+      List.rev !visited = Addr.page_chunks ~addr ~len)
 
 let prop_page_chunks_cover =
   QCheck.Test.make ~name:"page_chunks exactly covers the byte range" ~count:500
@@ -342,6 +413,7 @@ let suites =
         Alcotest.test_case "page arithmetic" `Quick test_addr_arithmetic;
         Alcotest.test_case "page chunks" `Quick test_page_chunks;
         QCheck_alcotest.to_alcotest prop_page_chunks_cover;
+        QCheck_alcotest.to_alcotest prop_iter_page_chunks_equiv;
       ] );
     ("memory.perm", [ Alcotest.test_case "permission lattice" `Quick test_perm_lattice ]);
     ( "memory.phys_mem",
@@ -352,6 +424,9 @@ let suites =
         Alcotest.test_case "u32/u64 accessors" `Quick test_phys_mem_u32_u64;
         Alcotest.test_case "mmio routing" `Quick test_phys_mem_mmio;
         Alcotest.test_case "zero frame" `Quick test_phys_mem_zero_frame;
+        Alcotest.test_case "zero-copy blits" `Quick test_read_into_write_from;
+        Alcotest.test_case "scalar cross-page + mmio" `Quick
+          test_scalars_cross_page_and_mmio;
         QCheck_alcotest.to_alcotest prop_phys_mem_roundtrip;
       ] );
     ( "memory.page_tables",
@@ -365,6 +440,7 @@ let suites =
         Alcotest.test_case "ept set_perms unmapped" `Quick test_ept_set_perms_unmapped;
         Alcotest.test_case "ept reverse lookup" `Quick test_ept_reverse_lookup;
         Alcotest.test_case "radix node counting" `Quick test_radix_node_counting;
+        Alcotest.test_case "radix generation counter" `Quick test_radix_generation;
         QCheck_alcotest.to_alcotest prop_radix_map_lookup;
         QCheck_alcotest.to_alcotest prop_radix_unmap;
         QCheck_alcotest.to_alcotest prop_two_level_walk_consistent;
