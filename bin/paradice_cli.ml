@@ -140,6 +140,59 @@ let bench workload mode batch packets order frames =
   | _ -> ());
   `Ok ()
 
+(* ---- trace ---- *)
+
+let trace_out =
+  Arg.(
+    value
+    & opt string "paradice_trace.json"
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Chrome trace-event JSON output path (load at ui.perfetto.dev).")
+
+let trace_workload =
+  Arg.(value & pos 0 string "noop" & info [] ~docv:"WORKLOAD" ~doc:"noop | netmap")
+
+let trace_ops =
+  Arg.(value & opt int 200 & info [ "ops" ] ~doc:"noop operation count")
+
+let trace workload out ops packets batch =
+  let tracer = Obs.Trace.create () in
+  let config = { Paradice.Config.default with Paradice.Config.tracer } in
+  let devices =
+    match workload with
+    | "noop" -> [ Baselines.Setup.Null ]
+    | "netmap" -> [ Baselines.Setup.Netmap ]
+    | w -> failwith ("trace supports noop | netmap, not " ^ w)
+  in
+  let _machine, env =
+    Baselines.Setup.make ~devices (Baselines.Setup.Paradice config)
+  in
+  (match workload with
+  | "noop" -> ignore (Workloads.Noop_bench.run env ~ops ())
+  | "netmap" -> ignore (Workloads.Netmap_pktgen.run env ~packets ~batch ())
+  | _ -> ());
+  let spans = List.length (Obs.Trace.completed tracer) in
+  let r = Obs.Trace.reconcile tracer in
+  let oc = open_out out in
+  output_string oc (Obs.Trace.to_chrome_json tracer);
+  close_out oc;
+  Printf.printf
+    "traced %s: %d spans, %d ops reconciled, max stage-sum gap %.3f us\n"
+    workload spans r.Obs.Trace.r_ops r.Obs.Trace.r_max_gap_us;
+  Printf.printf "wrote %s -- open it at https://ui.perfetto.dev\n\n" out;
+  Printf.printf "per-stage latency histograms (simulated us):\n";
+  List.iter
+    (fun (name, h) ->
+      Printf.printf "  %-22s n=%-6d mean=%9.2f p95=%9.2f\n" name
+        (Sim.Stats.count h) (Sim.Stats.mean h) (Sim.Stats.percentile h 95.))
+    (Obs.Metrics.histograms (Obs.Trace.metrics tracer));
+  (match Obs.Metrics.counters (Obs.Trace.metrics tracer) with
+  | [] -> ()
+  | cs ->
+      Printf.printf "counters:\n";
+      List.iter (fun (name, v) -> Printf.printf "  %-22s %d\n" name v) cs);
+  `Ok ()
+
 (* ---- analyze ---- *)
 
 let analyze () =
@@ -188,6 +241,14 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run one workload under a chosen configuration")
     Term.(ret (const bench $ workload_arg $ mode $ batch $ packets $ order $ frames))
 
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced workload and export a Chrome trace-event JSON \
+          (Perfetto-loadable) plus per-stage latency histograms")
+    Term.(ret (const trace $ trace_workload $ trace_out $ trace_ops $ packets $ batch))
+
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Run the ioctl analyzer over the Radeon driver IR")
     Term.(ret (const analyze $ const ()))
@@ -201,4 +262,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paradice" ~version:Paradice.Api.version ~doc)
-          [ inspect_cmd; bench_cmd; analyze_cmd; versions_cmd ]))
+          [ inspect_cmd; bench_cmd; trace_cmd; analyze_cmd; versions_cmd ]))

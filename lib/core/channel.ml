@@ -85,7 +85,14 @@ type t = {
   mutable dead : bool;
   mutable timeouts : int;
   mutable retries : int;
+  tracer : Obs.Trace.t; (* from [Config.tracer]; disabled = no-op *)
+  chan_uid : int; (* distinguishes this ring's counter series *)
+  service_trace : int array; (* backend: trace id drained per slot *)
 }
+
+(* Channel ordinal for trace counter-series names ("ring3.occupancy");
+   creation order is deterministic, so traces are reproducible. *)
+let next_chan_uid = ref 0
 
 (* ---- ring layout ---- *)
 
@@ -150,6 +157,11 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
     dead = false;
     timeouts = 0;
     retries = 0;
+    tracer = config.Config.tracer;
+    chan_uid =
+      (incr next_chan_uid;
+       !next_chan_uid);
+    service_trace = Array.make slots 0;
   }
 
 let is_dead t = t.dead
@@ -216,6 +228,22 @@ let marshal t = Sim.Engine.wait t.config.Config.marshal_us
 
 let fail_dead () = Oskit.Errno.fail Oskit.Errno.EIO "channel dead: driver VM down"
 
+(* Tracing helpers.  Every one is a no-op behind a single boolean when
+   the sink is disabled; none of them waits, so simulated time is
+   untouched.  Counters are registry-wide; spans attach to the
+   operation's trace id (0 = untraced, e.g. the watchdog heartbeat). *)
+let traced t = Obs.Trace.enabled t.tracer
+let m_incr t name = if traced t then Obs.Metrics.incr (Obs.Trace.metrics t.tracer) name
+
+let occupancy_sample t =
+  if traced t then begin
+    let occ = float_of_int (t.slots - Queue.length t.free_slots) in
+    Obs.Trace.counter t.tracer ~lane:Obs.Trace.Ring
+      ~name:(Printf.sprintf "ring%d.occupancy" t.chan_uid)
+      occ;
+    Obs.Metrics.observe (Obs.Trace.metrics t.tracer) "ring.occupancy" occ
+  end
+
 (* Request doorbell, with the injected transport faults applied.  The
    delay fault stalls the publish path; the drop fault loses the
    doorbell (evaluated only when a leg would actually be sent — a
@@ -223,17 +251,26 @@ let fail_dead () = Oskit.Errno.fail Oskit.Errno.EIO "channel dead: driver VM dow
    is the coalescing win: the backend is either draining (it will see
    the descriptor on its next head re-scan) or already has an
    interrupt in flight that covers every descriptor marked since. *)
-let ring_req_doorbell t =
+let ring_req_doorbell t ~trace =
   if fault_fires t site_delay_req then
     Sim.Engine.wait t.config.Config.fault_delay_us;
-  if (not t.back_active) && not t.req_irq_pending then
+  if (not t.back_active) && not t.req_irq_pending then begin
     if not (fault_fires t site_drop_req) then begin
       t.req_irq_pending <- true;
+      m_incr t "doorbell.req_legs";
+      let sp =
+        Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Transport
+          ~cat:"stage" ~name:"doorbell:req" ()
+      in
       leg t ~receiver:`Back (fun () ->
           t.req_irq_pending <- false;
           t.back_active <- true;
+          Obs.Trace.span_end t.tracer sp;
           Sim.Mailbox.send t.req_rx ())
     end
+    else m_incr t "fault.doorbell_dropped"
+  end
+  else m_incr t "doorbell.req_coalesced"
 
 (* Publish one request descriptor: marshal, stamp the attempt's
    sequence number, write the slot, mark it ready, ring.  Corruption
@@ -241,6 +278,11 @@ let ring_req_doorbell t =
    reject, not crash); the sequence number is stamped first, so even a
    corrupt descriptor's rejection pairs with its attempt. *)
 let publish t ~slot ~seq (req_bytes : bytes) =
+  let trace = Proto.get_trace req_bytes in
+  let sp =
+    Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Frontend ~cat:"stage"
+      ~name:"front:publish" ()
+  in
   marshal t;
   let wire = Bytes.copy req_bytes in
   Proto.set_seq wire seq;
@@ -249,7 +291,8 @@ let publish t ~slot ~seq (req_bytes : bytes) =
   t.front_view.Hypervisor.Shared_page.write ~offset:(slot_off slot) wire;
   t.front_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
     st_req_ready;
-  ring_req_doorbell t
+  ring_req_doorbell t ~trace;
+  Obs.Trace.span_end t.tracer sp
 
 (* Response-interrupt arrival: deliver every response published since
    the leg was raised (engine context: page reads and mailbox sends
@@ -292,15 +335,29 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
   t.rpcs <- t.rpcs + 1;
   t.in_flight <- t.in_flight + 1;
   if t.in_flight > t.max_in_flight then t.max_in_flight <- t.in_flight;
+  let trace = Proto.get_trace req_bytes in
   Fun.protect
     ~finally:(fun () -> t.in_flight <- t.in_flight - 1)
     (fun () ->
+      let wait_sp =
+        Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Frontend
+          ~cat:"stage" ~name:"front:slot_wait" ()
+      in
       Sim.Semaphore.acquire t.slot_sem;
       if t.dead then begin
         Sim.Semaphore.release t.slot_sem;
+        Obs.Trace.span_end ~status:"error:dead" t.tracer wait_sp;
         fail_dead ()
       end;
       let slot = Queue.pop t.free_slots in
+      Obs.Trace.span_arg wait_sp "slot" (float_of_int slot);
+      Obs.Trace.span_end t.tracer wait_sp;
+      occupancy_sample t;
+      let ring_sp =
+        Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Ring ~cat:"ring"
+          ~name:(Printf.sprintf "slot%d" slot)
+          ()
+      in
       let box = t.resp_box.(slot) in
       (* drop stale wakeups a timed-out previous occupant left behind:
          correctness comes from sequence pairing, but a buffered token
@@ -314,6 +371,8 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
             t.front_view.Hypervisor.Shared_page.write_u32
               ~offset:(state_off slot) st_free;
           Queue.push slot t.free_slots;
+          Obs.Trace.span_end t.tracer ring_sp;
+          occupancy_sample t;
           Sim.Semaphore.release t.slot_sem)
         (fun () ->
           let deadline =
@@ -335,25 +394,34 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
             if t.dead then fail_dead ();
             match got with
             | Some () ->
+                let wake = Sim.Engine.now t.engine in
                 marshal t;
                 let resp =
                   t.front_view.Hypervisor.Shared_page.read
                     ~offset:(slot_off slot) ~len:Proto.slot_size
                 in
-                if Proto.get_seq resp = seq then resp
+                if Proto.get_seq resp = seq then begin
+                  Obs.Trace.add_complete t.tracer ~trace
+                    ~lane:Obs.Trace.Frontend ~cat:"stage"
+                    ~name:"front:complete" ~start:wake ();
+                  resp
+                end
                 else begin
                   (* a late answer to a timed-out earlier attempt: it
                      clobbered our live request, so discard it and
                      republish the same attempt *)
                   t.stale_responses <- t.stale_responses + 1;
+                  m_incr t "rpc.stale_responses";
                   publish t ~slot ~seq req_bytes;
                   if t.dead then fail_dead ();
                   await tries_left seq
                 end
             | None ->
                 t.timeouts <- t.timeouts + 1;
+                m_incr t "rpc.timeouts";
                 if tries_left > 0 then begin
                   t.retries <- t.retries + 1;
+                  m_incr t "rpc.retries";
                   attempt (tries_left - 1)
                 end
                 else
@@ -383,6 +451,7 @@ let next_request t : (int * bytes) option =
       in
       go 0
     in
+    let start = ref (Sim.Engine.now t.engine) in
     let rec next () =
       match scan () with
       | Some slot ->
@@ -396,6 +465,12 @@ let next_request t : (int * bytes) option =
               ~len:Proto.slot_size
           in
           t.service_seq.(slot) <- Proto.get_seq bytes;
+          let trace = Proto.get_trace bytes in
+          t.service_trace.(slot) <- trace;
+          (* the drain's trace id is only known once the descriptor is
+             read, so the span is recorded after the fact *)
+          Obs.Trace.add_complete t.tracer ~trace ~lane:Obs.Trace.Backend
+            ~cat:"stage" ~name:"back:drain" ~start:!start ();
           Some (slot, bytes)
       | None ->
           (* ring drained: go back to sleep.  No wakeup can be lost —
@@ -405,6 +480,7 @@ let next_request t : (int * bytes) option =
              doorbell. *)
           t.back_active <- false;
           let () = Sim.Mailbox.recv t.req_rx in
+          start := Sim.Engine.now t.engine;
           if t.dead then None else next ()
     in
     next ()
@@ -419,18 +495,35 @@ let next_request t : (int * bytes) option =
     — or the frontend deadline recovers). *)
 let respond t ~slot (resp_bytes : bytes) =
   if not t.dead then begin
+    let trace = t.service_trace.(slot) in
+    let sp =
+      Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Backend ~cat:"stage"
+        ~name:"back:respond" ()
+    in
     marshal t;
     let wire = Bytes.copy resp_bytes in
     Proto.set_seq wire t.service_seq.(slot);
+    Proto.set_trace wire trace;
     t.back_view.Hypervisor.Shared_page.write ~offset:(slot_off slot) wire;
     t.back_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
       st_resp_ready;
     t.in_service <- max 0 (t.in_service - 1);
-    if not t.resp_irq_pending then
+    Obs.Trace.span_end t.tracer sp;
+    if not t.resp_irq_pending then begin
       if not (fault_fires t site_drop_resp) then begin
         t.resp_irq_pending <- true;
-        leg t ~receiver:`Front (fun () -> deliver_responses t)
+        m_incr t "doorbell.resp_legs";
+        let db_sp =
+          Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Transport
+            ~cat:"stage" ~name:"doorbell:resp" ()
+        in
+        leg t ~receiver:`Front (fun () ->
+            Obs.Trace.span_end t.tracer db_sp;
+            deliver_responses t)
       end
+      else m_incr t "fault.doorbell_dropped"
+    end
+    else m_incr t "doorbell.resp_coalesced"
   end
 
 (** Backend: asynchronous notification towards the frontend (§5.1's
@@ -448,8 +541,10 @@ let notify t =
        events only bump the counter (like SIGIO, §2.1). *)
     if not t.pending_notify then begin
       t.pending_notify <- true;
+      m_incr t "notify.legs";
       leg t ~receiver:`Front (fun () -> Sim.Mailbox.send t.notify_rx ())
     end
+    else m_incr t "notify.collapsed"
   end
 
 (** Frontend: block for the next notification; [None] once the channel

@@ -55,10 +55,17 @@ type t = {
                                   driver VM is declared dead *)
   poll_forward_chunk_us : float; (* bounded chunk a forwarded poll blocks
                                      in the backend before re-asking *)
+  poll_forward_backoff_us : float; (* frontend sleep between not-ready poll
+                                       chunks: bounds the RPC rate of a
+                                       never-ready device so one guest poll
+                                       cannot spin the ring *)
   driver_reboot_us : float; (* driver-VM kill -> serving again (§7.2's
                                 "rebooted in seconds") *)
   fault_delay_us : float; (* extra latency when the delay fault fires *)
   injector : Sim.Fault_inject.t option; (* deterministic fault plan *)
+  tracer : Obs.Trace.t; (* span tracing sink; the disabled sink is a
+                            single boolean check per instrumentation
+                            point and records nothing *)
   (* -- guest/OS costs -- *)
   sched_wake_us : float; (* waking a blocked application thread *)
   da_irq_extra_us : float; (* interrupt-injection overhead under device
@@ -91,9 +98,11 @@ let default =
     heartbeat_interval_us = 0.;
     heartbeat_miss_limit = 3;
     poll_forward_chunk_us = 5_000.;
+    poll_forward_backoff_us = 50.;
     driver_reboot_us = 1_000_000.;
     fault_delay_us = 50.;
     injector = None;
+    tracer = Obs.Trace.disabled;
     sched_wake_us = 38.4;
     da_irq_extra_us = 16.;
     input_delivery_us = 38.4;

@@ -32,9 +32,12 @@ type t = {
   heartbeat_interval_us : float;  (** watchdog ping period; 0 = off *)
   heartbeat_miss_limit : int;  (** missed pings before declaring death *)
   poll_forward_chunk_us : float;  (** backend blocking chunk per poll RPC *)
+  poll_forward_backoff_us : float;
+      (** frontend sleep between not-ready poll chunks (spin bound) *)
   driver_reboot_us : float;  (** driver-VM kill -> serving again *)
   fault_delay_us : float;  (** extra latency when the delay fault fires *)
   injector : Sim.Fault_inject.t option;  (** deterministic fault plan *)
+  tracer : Obs.Trace.t;  (** span tracing sink; default {!Obs.Trace.disabled} *)
   sched_wake_us : float;
   da_irq_extra_us : float;
   input_delivery_us : float;

@@ -183,7 +183,10 @@ let dispatch t link worker (req : Proto.request) : Proto.response =
          Kernel.charge_syscall kernel;
          let deadline_left = ref timeout_us in
          let rec loop () =
-           let r = fs.file.Defs.dev.Defs.ops.Defs.fop_poll worker fs.file in
+           let r =
+             fs.file.Defs.dev.Defs.ops.Defs.fop_poll worker fs.file ~want_in
+               ~want_out
+           in
            let ready = (want_in && r.Defs.pollin) || (want_out && r.Defs.pollout) in
            if ready || !deadline_left <= 0. then r
            else
@@ -195,7 +198,9 @@ let dispatch t link worker (req : Proto.request) : Proto.response =
                  let elapsed = Sim.Engine.now (Kernel.engine kernel) -. before in
                  deadline_left := !deadline_left -. elapsed;
                  if woken then loop ()
-                 else fs.file.Defs.dev.Defs.ops.Defs.fop_poll worker fs.file
+                 else
+                   fs.file.Defs.dev.Defs.ops.Defs.fop_poll worker fs.file
+                     ~want_in ~want_out
          in
          let r = loop () in
          Proto.Rpoll_reply { pollin = r.Defs.pollin; pollout = r.Defs.pollout }
@@ -234,6 +239,7 @@ let serve_one t link worker (bytes : bytes) : Proto.response =
                   rc_grant = grant_ref;
                   rc_charge =
                     (fun n -> Kernel.charge t.kernel (n *. t.config.Config.hypercall_us));
+                  rc_trace = Proto.get_trace bytes;
                 }
               in
               (try Task.with_remote worker rc (fun () -> dispatch t link worker req)
@@ -277,7 +283,12 @@ let connect t ~guest_vm =
             | None -> () (* channel dead: worker exits *)
             | Some _ when t.killed -> ()
             | Some (slot, bytes) ->
-                let resp = serve_one t link worker bytes in
+                let resp =
+                  Obs.Trace.with_span t.config.Config.tracer
+                    ~trace:(Proto.get_trace bytes) ~lane:Obs.Trace.Backend
+                    ~cat:"stage" ~name:"back:dispatch" (fun () ->
+                      serve_one t link worker bytes)
+                in
                 (* "back.wedge": the worker hangs forever between
                    executing the operation and answering — a stuck
                    driver thread.  Only an RPC deadline recovers the

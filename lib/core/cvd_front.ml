@@ -72,8 +72,12 @@ let fault_session t ~reason =
   match t.session with
   | Faulted -> ()
   | Healthy ->
-      ignore reason;
       t.session <- Faulted;
+      (* close every span the dead session left open — no trace state
+         may leak into (or misattribute time across) a reattach *)
+      ignore
+        (Obs.Trace.abort_open t.config.Config.tracer
+           ~reason:(String.map (fun c -> if c = ' ' then '_' else c) reason));
       let began = Sim.Engine.now (Kernel.engine t.kernel) in
       (* all open virtual files lose their backend descriptors *)
       Hashtbl.iter (fun file_id _ -> Hashtbl.replace t.stale_vfds file_id ()) t.vfds;
@@ -214,24 +218,45 @@ let forward t (task : Defs.task) ~ops req : Proto.response =
   if t.session = Faulted then
     Errno.fail Errno.ENODEV "driver VM session faulted";
   t.ops_forwarded <- t.ops_forwarded + 1;
-  Hypervisor.Hyp.register_process t.hyp t.guest_vm ~pid:task.Defs.pid
-    ~pt:task.Defs.pt;
-  let grant_ref = declare t ops in
-  Fun.protect
-    ~finally:(fun () ->
-      (* after a transport death the table was already revoked wholesale *)
-      if t.session = Healthy then release t grant_ref)
-    (fun () ->
-      let resp_bytes =
-        try Chan_pool.rpc t.pool (Proto.encode_request ~grant_ref ~pid:task.Defs.pid req)
-        with
-        | Chan_pool.Busy ->
-            Errno.fail Errno.EBUSY "per-guest operation cap reached"
-        | Errno.Unix_error (Errno.EIO, _) as e ->
-            fault_session t ~reason:"transport failure mid-operation";
-            raise e
-      in
-      Proto.decode_response resp_bytes)
+  let tracer = t.config.Config.tracer in
+  let trace = Obs.Trace.mint_id tracer in
+  let op_sp =
+    Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Frontend ~cat:"op"
+      ~name:(Proto.request_name req) ()
+  in
+  let run () =
+    let decl_sp =
+      Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Frontend ~cat:"stage"
+        ~name:"front:declare" ()
+    in
+    Hypervisor.Hyp.register_process t.hyp t.guest_vm ~pid:task.Defs.pid
+      ~pt:task.Defs.pt;
+    let grant_ref = declare t ops in
+    Obs.Trace.span_end tracer decl_sp;
+    Fun.protect
+      ~finally:(fun () ->
+        (* after a transport death the table was already revoked wholesale *)
+        if t.session = Healthy then release t grant_ref)
+      (fun () ->
+        let req_bytes = Proto.encode_request ~grant_ref ~pid:task.Defs.pid req in
+        Proto.set_trace req_bytes trace;
+        let resp_bytes =
+          try Chan_pool.rpc t.pool req_bytes with
+          | Chan_pool.Busy ->
+              Errno.fail Errno.EBUSY "per-guest operation cap reached"
+          | Errno.Unix_error (Errno.EIO, _) as e ->
+              fault_session t ~reason:"transport failure mid-operation";
+              raise e
+        in
+        Proto.decode_response resp_bytes)
+  in
+  match run () with
+  | resp ->
+      Obs.Trace.span_end tracer op_sp;
+      resp
+  | exception exn ->
+      Obs.Trace.span_end ~status:"error" tracer op_sp;
+      raise exn
 
 let int_result = function
   | Proto.Rok v -> v
@@ -351,11 +376,15 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
                        len = vma.Defs.vma_len;
                      }))));
       fop_poll =
-        (fun task file ->
-          (* The backend blocks inside the driver's poll.  Forward in
-             bounded chunks and loop until some event is ready, so the
+        (fun task file ~want_in ~want_out ->
+          (* The backend blocks inside the driver's poll.  Forward the
+             caller's real interest mask in bounded chunks and loop
+             until an event the caller asked about is ready, so the
              guest pays one forwarded operation per ready poll syscall,
-             as the netmap batching analysis assumes (§6.1.2). *)
+             as the netmap batching analysis assumes (§6.1.2).  Between
+             not-ready chunks the guest sleeps [poll_forward_backoff_us]
+             — a never-ready device must not turn this loop into a
+             back-to-back RPC spin that starves the ring. *)
           let vfd = vfd_of t file in
           let rec ask () =
             match
@@ -363,14 +392,19 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
                 (Proto.Rpoll
                    {
                      vfd;
-                     want_in = true;
-                     want_out = true;
+                     want_in;
+                     want_out;
                      timeout_us = t.config.Config.poll_forward_chunk_us;
                    })
             with
             | Proto.Rpoll_reply { pollin; pollout } ->
-                if pollin || pollout then { Defs.pollin; pollout; poll_wq = None }
-                else ask ()
+                if (want_in && pollin) || (want_out && pollout) then
+                  { Defs.pollin; pollout; poll_wq = None }
+                else begin
+                  if t.config.Config.poll_forward_backoff_us > 0. then
+                    Sim.Engine.wait t.config.Config.poll_forward_backoff_us;
+                  ask ()
+                end
             | other ->
                 ignore (int_result other);
                 Defs.no_poll
@@ -378,13 +412,19 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
           ask ());
       fop_fasync =
         (fun task file ~on ->
-          ignore
-            (remote_fail (forward t task ~ops:[] (Proto.Rfasync { vfd = vfd_of t file; on })));
-          if on then begin
-            if not (List.memq file t.fasync_files) then
-              t.fasync_files <- file :: t.fasync_files
-          end
-          else t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files);
+          (* mutate the notification list only once the backend has
+             accepted the registration: a failed Rfasync must not leave
+             the frontend delivering (or dropping) SIGIO for a file the
+             driver never subscribed *)
+          match forward t task ~ops:[] (Proto.Rfasync { vfd = vfd_of t file; on }) with
+          | Proto.Rok _ ->
+              if on then begin
+                if not (List.memq file t.fasync_files) then
+                  t.fasync_files <- file :: t.fasync_files
+              end
+              else t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files
+          | (Proto.Rerr _ | Proto.Rpoll_reply _) as resp ->
+              ignore (remote_fail resp));
     }
   in
   let dev = Defs.make_device ~path ~cls ~driver:("cvd/" ^ driver) ~exclusive ops in

@@ -93,6 +93,10 @@ let create ?(mode = Paradice) ?(config = Config.default) ?(driver_mem_mib = 256)
   let phys = Memory.Phys_mem.create () in
   let hyp = Hypervisor.Hyp.create phys in
   Hypervisor.Hyp.set_validation hyp config.Config.validate_grants;
+  (* wire the span tracer to this machine's clock and hypervisor; the
+     disabled sink makes both calls no-ops *)
+  Obs.Trace.attach_clock config.Config.tracer (fun () -> Sim.Engine.now engine);
+  Hypervisor.Hyp.set_tracer hyp config.Config.tracer;
   let driver_vm =
     Hypervisor.Hyp.create_vm hyp ~name:"driver-vm" ~kind:Hypervisor.Vm.Driver
       ~mem_bytes:(driver_mem_mib * mib)

@@ -47,6 +47,15 @@ let seq_off = 1008
 let set_seq b seq = w32 b seq_off seq
 let get_seq b = r32 b seq_off
 
+(* The operation's trace id (Obs tracing), minted by the frontend and
+   stamped next to the sequence number so every stage of the pipeline
+   — transport, backend, hypervisor — can attribute its spans to the
+   forwarded operation it serves.  0 = untraced. *)
+let trace_off = 1004
+
+let set_trace b id = w32 b trace_off id
+let get_trace b = r32 b trace_off
+
 let encode_request ~grant_ref ~pid req =
   let b = Bytes.make slot_size '\000' in
   let vfd_of = function

@@ -29,6 +29,14 @@ val seq_off : int
 val set_seq : bytes -> int -> unit
 val get_seq : bytes -> int
 
+(** Trace id of the forwarded operation ({!Obs.Trace.mint_id}),
+    stamped by the frontend next to the sequence number so transport,
+    backend and hypervisor spans attribute to it; 0 = untraced. *)
+val trace_off : int
+
+val set_trace : bytes -> int -> unit
+val get_trace : bytes -> int
+
 exception Malformed of string
 
 val encode_request : grant_ref:int -> pid:int -> request -> bytes

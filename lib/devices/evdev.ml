@@ -123,7 +123,7 @@ let file_ops t =
         Uaccess.copy_to_user task ~uaddr:buf out;
         n * event_bytes);
     fop_poll =
-      (fun _task _file ->
+      (fun _task _file ~want_in:_ ~want_out:_ ->
         { Defs.pollin = not (Queue.is_empty t.queue); pollout = false; poll_wq = Some t.wq });
     fop_fasync = (fun _task _file ~on:_ -> ());
   }

@@ -195,10 +195,11 @@ let file_ops t =
         Uaccess.insert_pfn task ~gva ~page_gpa:t.ring_pages.(page)
           ~perms:Memory.Perm.rw);
     fop_poll =
-      (fun _task _file ->
+      (fun _task _file ~want_in:_ ~want_out ->
         (* netmap semantics: poll(POLLOUT) performs txsync and reports
-           whether the ring has space *)
-        txsync t;
+           whether the ring has space; a reader not asking for POLLOUT
+           must not trigger a transmit pass *)
+        if want_out then txsync t;
         { Defs.pollin = false; pollout = free_slots t > 0; poll_wq = Some t.wq });
   }
 

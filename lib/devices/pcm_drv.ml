@@ -110,7 +110,7 @@ let file_ops t =
         end
         else Errno.fail Errno.ENOTTY "unknown pcm ioctl");
     fop_poll =
-      (fun _task _file ->
+      (fun _task _file ~want_in:_ ~want_out:_ ->
         { Defs.pollin = false; pollout = t.ring_level < t.ring_capacity; poll_wq = Some t.wq });
   }
 

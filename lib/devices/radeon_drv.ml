@@ -718,7 +718,9 @@ let file_ops t =
     fop_mmap = (fun task file vma -> handle_mmap t task file vma);
     fop_fault = (fun task file vma ~gva -> handle_fault t task file vma ~gva);
     fop_release = (fun task file -> release t task file);
-    fop_poll = (fun _ _ -> { Defs.pollin = true; pollout = true; poll_wq = None });
+    fop_poll =
+      (fun _ _ ~want_in:_ ~want_out:_ ->
+        { Defs.pollin = true; pollout = true; poll_wq = None });
   }
 
 (** Register the GPU as /dev/dri/card0 in the driver kernel. *)

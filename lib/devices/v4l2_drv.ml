@@ -216,7 +216,7 @@ let file_ops t =
         if page >= Array.length b.pages then Errno.fail Errno.EFAULT "fault beyond buffer";
         Uaccess.insert_pfn task ~gva ~page_gpa:b.pages.(page) ~perms:Memory.Perm.rw);
     fop_poll =
-      (fun _task _file ->
+      (fun _task _file ~want_in:_ ~want_out:_ ->
         let ready = Array.exists (fun b -> b.filled) t.buffers in
         { Defs.pollin = ready; pollout = false; poll_wq = Some t.wq });
   }

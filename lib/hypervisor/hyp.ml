@@ -22,6 +22,7 @@ type t = {
   process_registry : (int * int, Memory.Guest_pt.t) Hashtbl.t;
   mutable validate : bool; (* fault-isolation runtime checks (§4.1) *)
   mutable next_vm_id : int;
+  mutable tracer : Obs.Trace.t; (* span sink for memory-op callers *)
 }
 
 exception Rejected of string
@@ -39,9 +40,12 @@ let create phys =
     process_registry = Hashtbl.create 64;
     validate = true;
     next_vm_id = 0;
+    tracer = Obs.Trace.disabled;
   }
 
 let set_validation t on = t.validate <- on
+let set_tracer t tracer = t.tracer <- tracer
+let tracer t = t.tracer
 
 let phys t = t.phys
 let audit t = t.audit

@@ -16,6 +16,13 @@ val vms : t -> Vm.t list
 (** Toggle the fault-isolation runtime checks (ablation only). *)
 val set_validation : t -> bool -> unit
 
+(** Span sink used by memory-operation callers (e.g. the driver VM's
+    [Uaccess] remote path); defaults to {!Obs.Trace.disabled}.
+    {!Machine.create} points it at [Config.tracer]. *)
+val set_tracer : t -> Obs.Trace.t -> unit
+
+val tracer : t -> Obs.Trace.t
+
 (** Create a VM with RAM mapped 1:1 from guest-physical 0. *)
 val create_vm : t -> name:string -> kind:Vm.kind -> mem_bytes:int -> Vm.t
 

@@ -56,7 +56,11 @@ and file_ops = {
   fop_write : task -> file -> buf:int -> len:int -> int;
   fop_ioctl : task -> file -> cmd:int -> arg:int64 -> int;
   fop_mmap : task -> file -> vma -> unit;
-  fop_poll : task -> file -> poll_result;
+  fop_poll : task -> file -> want_in:bool -> want_out:bool -> poll_result;
+      (* [want_in]/[want_out] mirror the caller's interest mask
+         (POLLIN/POLLOUT): a driver may skip work for directions the
+         caller did not ask about (netmap only txsyncs under
+         [want_out]), but must still report true readiness *)
   fop_fasync : task -> file -> on:bool -> unit;
   fop_fault : task -> file -> vma -> gva:int -> unit;
   fop_vma_close : task -> file -> vma -> unit;
@@ -78,6 +82,7 @@ and remote_ctx = {
   rc_pt : Memory.Guest_pt.t; (* that process's page table *)
   rc_grant : int; (* grant reference for this file operation *)
   rc_charge : float -> unit; (* simulated-time cost of each hypercall *)
+  rc_trace : int; (* trace id of the forwarded operation; 0 = untraced *)
 }
 
 let no_poll = { pollin = false; pollout = false; poll_wq = None }
@@ -93,7 +98,7 @@ let default_ops =
     fop_write = (fun _ _ ~buf:_ ~len:_ -> Errno.fail Errno.EINVAL "no write handler");
     fop_ioctl = (fun _ _ ~cmd:_ ~arg:_ -> Errno.fail Errno.ENOTTY "no ioctl handler");
     fop_mmap = (fun _ _ _ -> Errno.fail Errno.ENODEV "no mmap handler");
-    fop_poll = (fun _ _ -> no_poll);
+    fop_poll = (fun _ _ ~want_in:_ ~want_out:_ -> no_poll);
     fop_fasync = (fun _ _ ~on:_ -> ());
     fop_fault = (fun _ _ _ ~gva:_ -> Errno.fail Errno.EFAULT "no fault handler");
     fop_vma_close = (fun _ _ _ -> ());

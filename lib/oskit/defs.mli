@@ -51,7 +51,10 @@ and file_ops = {
   fop_write : task -> file -> buf:int -> len:int -> int;
   fop_ioctl : task -> file -> cmd:int -> arg:int64 -> int;
   fop_mmap : task -> file -> vma -> unit;
-  fop_poll : task -> file -> poll_result;
+  fop_poll : task -> file -> want_in:bool -> want_out:bool -> poll_result;
+      (** [want_in]/[want_out] mirror the caller's POLLIN/POLLOUT
+          interest mask; drivers may skip work for directions not
+          asked about but must report true readiness *)
   fop_fasync : task -> file -> on:bool -> unit;
   fop_fault : task -> file -> vma -> gva:int -> unit;
   fop_vma_close : task -> file -> vma -> unit;
@@ -72,6 +75,7 @@ and remote_ctx = {
   rc_pt : Memory.Guest_pt.t;
   rc_grant : int;
   rc_charge : float -> unit; (** per-hypercall simulated-time cost *)
+  rc_trace : int; (** trace id of the forwarded operation; 0 = untraced *)
 }
 
 val no_poll : poll_result

@@ -36,6 +36,38 @@ let with_recorder f body =
 
 let record op = match !recorder with Some f -> f op | None -> ()
 
+(* Span a remote memory operation on the hypervisor lane.  The span
+   carries the software-TLB hit/miss delta the operation caused, read
+   from the hypervisor's audit counters — the executable form of the
+   paper's translation-cost breakdown.  Zero-cost when tracing is off
+   or the operation is untraced (rc_trace = 0). *)
+let hyp_span rc ~name f =
+  let tr = Hypervisor.Hyp.tracer rc.rc_hyp in
+  if (not (Obs.Trace.enabled tr)) || rc.rc_trace = 0 then f ()
+  else begin
+    let audit = Hypervisor.Hyp.audit rc.rc_hyp in
+    let hits0 = Hypervisor.Audit.tlb_hits audit
+    and misses0 = Hypervisor.Audit.tlb_misses audit in
+    let sp =
+      Obs.Trace.span_begin tr ~trace:rc.rc_trace ~lane:Obs.Trace.Hypervisor
+        ~cat:"hyp" ~name ()
+    in
+    let finish status =
+      Obs.Trace.span_arg sp "tlb_hits"
+        (float_of_int (Hypervisor.Audit.tlb_hits audit - hits0));
+      Obs.Trace.span_arg sp "tlb_misses"
+        (float_of_int (Hypervisor.Audit.tlb_misses audit - misses0));
+      Obs.Trace.span_end ~status tr sp
+    in
+    match f () with
+    | v ->
+        finish "ok";
+        v
+    | exception exn ->
+        finish "error";
+        raise exn
+  end
+
 (** Driver reads [len] bytes from the current process at [uaddr] into
     [dst] at [dst_off] — zero-copy: the bytes land in the driver's
     buffer with no intermediate allocation, local and remote alike. *)
@@ -47,20 +79,21 @@ let copy_from_user_into task ~uaddr ~dst ~dst_off ~len =
         Hypervisor.Vm.read_gva_into task.vm ~pt:task.pt ~gva:uaddr ~dst ~dst_off
           ~len
       with Memory.Fault.Page_fault _ -> Errno.fail Errno.EFAULT "bad user pointer")
-  | Some rc -> (
-      rc.rc_charge 1.;
-      let req =
-        {
-          Hypervisor.Hyp.caller = task.vm;
-          target = rc.rc_target;
-          pt = rc.rc_pt;
-          grant_ref = rc.rc_grant;
-        }
-      in
-      try
-        Hypervisor.Hyp.copy_from_process_into rc.rc_hyp req ~gva:uaddr ~dst
-          ~dst_off ~len
-      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+  | Some rc ->
+      hyp_span rc ~name:"copy_from_user" (fun () ->
+          rc.rc_charge 1.;
+          let req =
+            {
+              Hypervisor.Hyp.caller = task.vm;
+              target = rc.rc_target;
+              pt = rc.rc_pt;
+              grant_ref = rc.rc_grant;
+            }
+          in
+          try
+            Hypervisor.Hyp.copy_from_process_into rc.rc_hyp req ~gva:uaddr ~dst
+              ~dst_off ~len
+          with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
 
 (** Driver reads [len] bytes from the current process at [uaddr]. *)
 let copy_from_user task ~uaddr ~len =
@@ -79,20 +112,21 @@ let copy_to_user_from task ~uaddr ~src ~src_off ~len =
         Hypervisor.Vm.write_gva_from task.vm ~pt:task.pt ~gva:uaddr ~src ~src_off
           ~len
       with Memory.Fault.Page_fault _ -> Errno.fail Errno.EFAULT "bad user pointer")
-  | Some rc -> (
-      rc.rc_charge 1.;
-      let req =
-        {
-          Hypervisor.Hyp.caller = task.vm;
-          target = rc.rc_target;
-          pt = rc.rc_pt;
-          grant_ref = rc.rc_grant;
-        }
-      in
-      try
-        Hypervisor.Hyp.copy_to_process_from rc.rc_hyp req ~gva:uaddr ~src
-          ~src_off ~len
-      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+  | Some rc ->
+      hyp_span rc ~name:"copy_to_user" (fun () ->
+          rc.rc_charge 1.;
+          let req =
+            {
+              Hypervisor.Hyp.caller = task.vm;
+              target = rc.rc_target;
+              pt = rc.rc_pt;
+              grant_ref = rc.rc_grant;
+            }
+          in
+          try
+            Hypervisor.Hyp.copy_to_process_from rc.rc_hyp req ~gva:uaddr ~src
+              ~src_off ~len
+          with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
 
 (** Driver writes [data] into the current process at [uaddr]. *)
 let copy_to_user task ~uaddr data =
@@ -128,13 +162,35 @@ let insert_pfn task ~gva ~page_gpa ~perms =
       (* Local process: point its page table at the existing
          guest-physical page. *)
       Memory.Guest_pt.map task.pt ~gva ~gpa:page_gpa ~perms
-  | Some rc -> (
-      rc.rc_charge 1.;
-      (* Resolve the driver's view of the page to a system-physical
-         frame, then ask the hypervisor to wire it into the guest. *)
-      match Memory.Ept.lookup (Hypervisor.Vm.ept task.vm) ~gpa:page_gpa with
-      | None -> Errno.fail Errno.EFAULT "insert_pfn: page not present in driver VM"
-      | Some (spa, _) -> (
+  | Some rc ->
+      hyp_span rc ~name:"insert_pfn" (fun () ->
+          rc.rc_charge 1.;
+          (* Resolve the driver's view of the page to a system-physical
+             frame, then ask the hypervisor to wire it into the guest. *)
+          match Memory.Ept.lookup (Hypervisor.Vm.ept task.vm) ~gpa:page_gpa with
+          | None ->
+              Errno.fail Errno.EFAULT "insert_pfn: page not present in driver VM"
+          | Some (spa, _) -> (
+              let req =
+                {
+                  Hypervisor.Hyp.caller = task.vm;
+                  target = rc.rc_target;
+                  pt = rc.rc_pt;
+                  grant_ref = rc.rc_grant;
+                }
+              in
+              try
+                Hypervisor.Hyp.map_page_into_process rc.rc_hyp req ~gva ~spa
+                  ~perms
+              with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg))
+
+(** Remove a process mapping previously created with {!insert_pfn}. *)
+let remove_pfn task ~gva =
+  match task.remote with
+  | None -> ignore (Memory.Guest_pt.unmap task.pt ~gva)
+  | Some rc ->
+      hyp_span rc ~name:"remove_pfn" (fun () ->
+          rc.rc_charge 1.;
           let req =
             {
               Hypervisor.Hyp.caller = task.vm;
@@ -143,25 +199,8 @@ let insert_pfn task ~gva ~page_gpa ~perms =
               grant_ref = rc.rc_grant;
             }
           in
-          try Hypervisor.Hyp.map_page_into_process rc.rc_hyp req ~gva ~spa ~perms
-          with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg))
-
-(** Remove a process mapping previously created with {!insert_pfn}. *)
-let remove_pfn task ~gva =
-  match task.remote with
-  | None -> ignore (Memory.Guest_pt.unmap task.pt ~gva)
-  | Some rc -> (
-      rc.rc_charge 1.;
-      let req =
-        {
-          Hypervisor.Hyp.caller = task.vm;
-          target = rc.rc_target;
-          pt = rc.rc_pt;
-          grant_ref = rc.rc_grant;
-        }
-      in
-      try Hypervisor.Hyp.unmap_page_from_process rc.rc_hyp req ~gva
-      with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
+          try Hypervisor.Hyp.unmap_page_from_process rc.rc_hyp req ~gva
+          with Hypervisor.Hyp.Rejected msg -> fault_of_rejection msg)
 
 (** Number of kernel entry points the wrapper stubs intercept; the
     paper modified 13 Linux functions (§5.2).  Listed for the code

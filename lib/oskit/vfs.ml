@@ -162,7 +162,7 @@ let poll kernel task fd ~want_in ~want_out ~timeout : poll_result result =
       let file = lookup_fd task fd in
       let deadline_left = ref timeout in
       let rec loop () =
-        let r = file.dev.ops.fop_poll task file in
+        let r = file.dev.ops.fop_poll task file ~want_in ~want_out in
         let ready = (want_in && r.pollin) || (want_out && r.pollout) in
         if ready || !deadline_left <= 0. then r
         else
@@ -173,7 +173,8 @@ let poll kernel task fd ~want_in ~want_out ~timeout : poll_result result =
               let woken = Wait_queue.sleep_timeout wq ~timeout:!deadline_left in
               let elapsed = Sim.Engine.now (Kernel.engine kernel) -. before in
               deadline_left := !deadline_left -. elapsed;
-              if woken then loop () else file.dev.ops.fop_poll task file
+              if woken then loop ()
+              else file.dev.ops.fop_poll task file ~want_in ~want_out
       in
       loop ())
 

@@ -299,6 +299,135 @@ let test_kill_reboot_reopen () =
   | Some (Ok _) -> Alcotest.fail "blocked read succeeded across the crash"
   | None -> Alcotest.fail "blocked read never returned"
 
+(* ---- spans under fault injection ---- *)
+
+(* A dropped request doorbell exhausts the deadline: the operation's
+   span must close with an error status and nothing may stay open —
+   the tracer's view of a fault is as clean as the errno the app saw. *)
+let test_timed_out_op_span_closes_with_error () =
+  let inj = Sim.Fault_inject.create ~seed:31L () in
+  let tracer = Obs.Trace.create () in
+  let config =
+    {
+      Config.default with
+      Config.injector = Some inj;
+      tracer;
+      rpc_timeout_us = 500.;
+      rpc_retries = 0;
+    }
+  in
+  let m = M.create ~config () in
+  let (_ : Defs.device) = M.attach_null m in
+  let g = M.add_guest m ~name:"g1" () in
+  run_in_process (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      let k = g.M.kernel in
+      let fd = ok (Vfs.openf k app "/dev/null0") in
+      Sim.Fault_inject.arm inj ~key:Channel.site_drop_req
+        (Sim.Fault_inject.Nth 1);
+      match Vfs.ioctl k app fd ~cmd:M.null_ioctl ~arg:0L with
+      | Error e -> Alcotest.check errno "dropped doorbell times out" Errno.ETIMEDOUT e
+      | Ok _ -> Alcotest.fail "operation survived a dropped doorbell without retries");
+  Alcotest.(check int) "no span leaks open" 0 (Obs.Trace.open_count tracer);
+  let failed_ops =
+    List.filter
+      (fun c -> c.Obs.Trace.c_cat = "op" && c.Obs.Trace.c_status <> "ok")
+      (Obs.Trace.completed tracer)
+  in
+  Alcotest.(check int) "exactly the timed-out op closed with error" 1
+    (List.length failed_ops);
+  Alcotest.(check int) "the drop was counted" 1
+    (Obs.Metrics.count (Obs.Trace.metrics tracer) "fault.doorbell_dropped")
+
+(* A driver-VM crash aborts every open span with an error status, and
+   a reattached session starts clean: no trace state crosses the
+   reboot, and post-recovery operations reconcile again. *)
+let test_crash_aborts_spans_reattach_is_clean () =
+  let tracer = Obs.Trace.create () in
+  let config = { Config.default with Config.tracer = tracer } in
+  let m = M.create ~config () in
+  let (_ : Defs.device) = M.attach_null m in
+  let (_ : Devices.Evdev.t) = M.attach_mouse m in
+  let g = M.add_guest m ~name:"g1" () in
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"reader" in
+      let k = g.M.kernel in
+      let fd = ok (Vfs.openf k app "/dev/input/event0") in
+      let buf = Task.alloc_buf app 256 in
+      (* blocks with its op span open until the crash *)
+      ignore (Vfs.read k app fd ~buf ~len:256));
+  Sim.Engine.at (M.engine m) ~delay:5_000. (fun () -> M.kill_driver_vm m);
+  run_in_process (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"app" in
+      let k = g.M.kernel in
+      Sim.Engine.wait 10_000. (* the crash happens at t=5000 *);
+      Alcotest.(check int) "fault closed every open span" 0
+        (Obs.Trace.open_count tracer);
+      let aborted =
+        List.filter
+          (fun c -> String.starts_with ~prefix:"error:" c.Obs.Trace.c_status)
+          (Obs.Trace.completed tracer)
+      in
+      Alcotest.(check bool) "in-flight spans carry the fault reason" true
+        (List.length aborted >= 1);
+      M.reboot_driver_vm m;
+      Alcotest.(check int) "reattach inherits no open span" 0
+        (Obs.Trace.open_count tracer);
+      let fd2 = ok (Vfs.openf k app "/dev/null0") in
+      Alcotest.(check int) "post-recovery op serves" 0
+        (ok (Vfs.ioctl k app fd2 ~cmd:M.null_ioctl ~arg:0L)));
+  Alcotest.(check int) "nothing open at the end" 0 (Obs.Trace.open_count tracer);
+  let r = Obs.Trace.reconcile tracer in
+  Alcotest.(check bool) "post-recovery ops reconcile" true (r.Obs.Trace.r_ops >= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "stage tiling survives the crash (gap %.3f us)"
+       r.Obs.Trace.r_max_gap_us)
+    true
+    (r.Obs.Trace.r_max_gap_us <= 1.)
+
+(* ---- poll forwarding backoff (ring starvation) ---- *)
+
+(* A device that is never ready used to turn the frontend's forwarded
+   poll into a back-to-back RPC spin on the ring.  With the backoff,
+   the spin is rate-limited and a concurrent caller on the same single
+   channel still gets every operation through. *)
+let test_poll_spin_does_not_starve_ring () =
+  let config =
+    {
+      Config.default with
+      Config.channels_per_guest = 1;
+      poll_forward_backoff_us = 200.;
+    }
+  in
+  let m = M.create ~config () in
+  let (_ : Defs.device) = M.attach_null m in
+  let g = M.add_guest m ~name:"g1" () in
+  let ioctls_done = ref 0 in
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"poller" in
+      let k = g.M.kernel in
+      let fd = ok (Vfs.openf k app "/dev/null0") in
+      (* /dev/null0 never becomes ready: this forwarded poll loops *)
+      ignore (Vfs.poll k app fd ~want_in:true ~want_out:false ~timeout:1_000_000.));
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:"worker" in
+      let k = g.M.kernel in
+      let fd = ok (Vfs.openf k app "/dev/null0") in
+      for _ = 1 to 50 do
+        Alcotest.(check int) "op completes under the poll spin" 0
+          (ok (Vfs.ioctl k app fd ~cmd:M.null_ioctl ~arg:0L));
+        incr ioctls_done
+      done);
+  Sim.Engine.run ~until:100_000. (M.engine m);
+  Alcotest.(check int) "no starvation: every concurrent op completed" 50
+    !ioctls_done;
+  let forwarded, _, _ = Cvd_front.stats g.M.frontend in
+  (* 100 ms / (rpc + 200 us backoff) bounds the poll RPC rate; without
+     the backoff the same window fits thousands of spins *)
+  Alcotest.(check bool)
+    (Printf.sprintf "poll RPC rate bounded by the backoff (%d forwarded)" forwarded)
+    true (forwarded < 700)
+
 (* The mid-RPC crash site: "cvd.crash" fires inside a backend worker
    between executing the operation and responding, and the on_fire
    hook (armed by Machine.create) performs the real kill. *)
@@ -351,5 +480,11 @@ let suites =
         Alcotest.test_case "kill, reboot, reopen" `Quick test_kill_reboot_reopen;
         Alcotest.test_case "cvd.crash site kills mid-rpc" `Quick
           test_crash_site_kills_mid_rpc;
+        Alcotest.test_case "timed-out op span closes with error" `Quick
+          test_timed_out_op_span_closes_with_error;
+        Alcotest.test_case "crash aborts spans, reattach clean" `Quick
+          test_crash_aborts_spans_reattach_is_clean;
+        Alcotest.test_case "poll spin does not starve the ring" `Quick
+          test_poll_spin_does_not_starve_ring;
       ] );
   ]

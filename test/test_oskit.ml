@@ -160,7 +160,8 @@ let test_poll_blocks_until_wake () =
     {
       Defs.default_ops with
       Defs.fop_poll =
-        (fun _ _ -> { Defs.pollin = !ready; pollout = false; poll_wq = Some wq });
+        (fun _ _ ~want_in:_ ~want_out:_ ->
+          { Defs.pollin = !ready; pollout = false; poll_wq = Some wq });
       fop_kinds = [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Poll ];
     }
   in
@@ -185,7 +186,9 @@ let test_poll_timeout () =
   let ops =
     {
       Defs.default_ops with
-      Defs.fop_poll = (fun _ _ -> { Defs.pollin = false; pollout = false; poll_wq = Some wq });
+      Defs.fop_poll =
+        (fun _ _ ~want_in:_ ~want_out:_ ->
+          { Defs.pollin = false; pollout = false; poll_wq = Some wq });
       fop_kinds = [ Os_flavor.Open; Os_flavor.Poll ];
     }
   in
@@ -254,6 +257,7 @@ let test_marked_thread_redirection () =
           rc_pt = guest_task.Defs.pt;
           rc_grant = gref;
           rc_charge = (fun _ -> ());
+          rc_trace = 0;
         }
       in
       let seen =
