@@ -24,6 +24,7 @@ let experiments =
     ("throughput", Experiments.throughput);
     ("memops", Experiments.memops);
     ("trace", Experiments.trace);
+    ("containment", Experiments.containment);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -131,7 +132,8 @@ let () =
       print_endline "Paradice benchmark harness — reproducing every table and figure";
       print_endline "(pass experiment names to run a subset: noop fig2 fig3 fig4 fig5";
       print_endline " fig6 mouse camera audio table1 table2 table3 analyzer isolation";
-      print_endline " recovery throughput memops trace bechamel; --quick shortens runs)";
+      print_endline " recovery throughput memops trace containment bechamel; --quick";
+      print_endline " shortens runs)";
       List.iter (fun (_, f) -> f ()) experiments;
       Report.heading "Bechamel microbenchmarks (wall clock, implementation hot paths)";
       bechamel_benchmarks ()

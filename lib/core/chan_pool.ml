@@ -23,6 +23,8 @@ exception Busy
     outstanding. *)
 
 let create channels ~cap = { channels; cap; pending = 0; rejected_busy = 0 }
+let pending t = t.pending
+let cap t = t.cap
 
 (** The designated channel for backend-to-frontend notifications. *)
 let notify_channel t = t.channels.(0)

@@ -10,6 +10,12 @@ exception Busy
 
 val create : Channel.t array -> cap:int -> t
 
+(** Operations currently in flight or waiting for a ring slot. *)
+val pending : t -> int
+
+(** The per-guest operation cap ({!Busy} past it). *)
+val cap : t -> int
+
 (** The designated channel for backend-to-frontend notifications. *)
 val notify_channel : t -> Channel.t
 

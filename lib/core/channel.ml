@@ -430,6 +430,24 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
           in
           attempt (max 0 t.config.Config.rpc_retries)))
 
+(** Hostile-frontend injection (adversarial tests): write [bytes]
+    straight into ring slot [slot] and mark it request-ready, bypassing
+    the RPC state machine entirely — exactly what a compromised guest
+    kernel with the shared region mapped writable can do.  No sequence
+    pairing, no slot accounting; whatever response the backend
+    publishes into the slot is simply left unread (and a later
+    injection into the same slot clobbers it, as on real hardware). *)
+let inject_raw t ~slot (bytes : bytes) =
+  if slot < 0 || slot >= t.slots then invalid_arg "Channel.inject_raw";
+  if not t.dead then begin
+    let wire = Bytes.make Proto.slot_size '\000' in
+    Bytes.blit bytes 0 wire 0 (min (Bytes.length bytes) Proto.slot_size);
+    t.front_view.Hypervisor.Shared_page.write ~offset:(slot_off slot) wire;
+    t.front_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
+      st_req_ready;
+    ring_req_doorbell t ~trace:0
+  end
+
 (** Backend: block until a descriptor is ready and claim it; [None]
     once the channel is dead (the worker should exit).  One wakeup
     drains many: after serving, the worker's next call re-scans the

@@ -37,6 +37,13 @@ val is_dead : t -> bool
     number (late answers to timed-out attempts) are discarded. *)
 val rpc : ?timeout_us:float -> t -> bytes -> bytes
 
+(** Hostile-frontend injection (adversarial tests): write raw bytes
+    into a ring slot and mark it request-ready, bypassing the RPC
+    state machine — what a compromised guest kernel with the shared
+    region mapped writable can do.  The backend's response to the slot
+    is left unread. *)
+val inject_raw : t -> slot:int -> bytes -> unit
+
 (** Backend: block until a descriptor is ready and claim it ([None] =
     channel dead, the worker should exit).  One doorbell wakeup drains
     many descriptors: successive calls re-scan the ring head before

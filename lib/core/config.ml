@@ -59,6 +59,29 @@ type t = {
                                        chunks: bounds the RPC rate of a
                                        never-ready device so one guest poll
                                        cannot spin the ring *)
+  (* -- hostile-guest containment (§4, §7.1: the backend does not
+        trust the frontend) -- *)
+  sanitize_requests : bool; (* run the post-decode sanitization pass on
+                                every forwarded operation (ablation knob;
+                                the paper's backend always validates) *)
+  max_transfer_bytes : int; (* largest read/write a guest may request;
+                                bounds backend allocation per operation *)
+  poll_timeout_cap_us : float; (* forwarded poll timeouts are clamped
+                                   into [0, cap]; non-finite or negative
+                                   encodings are rejected outright *)
+  max_open_vfds : int; (* open virtual descriptors per guest link *)
+  max_grant_entries : int; (* outstanding grant-table entries per guest
+                               (quota below the physical table capacity) *)
+  cpu_budget_us : float; (* backend CPU time one guest may consume per
+                             accounting window; 0 = unlimited.  Charged
+                             through Kernel.charge, so a guest spinning
+                             expensive ioctls is throttled instead of
+                             starving siblings' ring service *)
+  cpu_budget_window_us : float; (* budget accounting window *)
+  quarantine_threshold : int; (* misbehavior score at which the backend
+                                  quarantines a guest (revokes grants,
+                                  tears down its mappings, detaches its
+                                  link); 0 = never quarantine *)
   driver_reboot_us : float; (* driver-VM kill -> serving again (§7.2's
                                 "rebooted in seconds") *)
   fault_delay_us : float; (* extra latency when the delay fault fires *)
@@ -99,6 +122,14 @@ let default =
     heartbeat_miss_limit = 3;
     poll_forward_chunk_us = 5_000.;
     poll_forward_backoff_us = 50.;
+    sanitize_requests = true;
+    max_transfer_bytes = 4 * 1024 * 1024;
+    poll_timeout_cap_us = 60_000_000.;
+    max_open_vfds = 128;
+    max_grant_entries = 170; (* = Grant_table.capacity: quota off by default *)
+    cpu_budget_us = 0.;
+    cpu_budget_window_us = 10_000.;
+    quarantine_threshold = 50;
     driver_reboot_us = 1_000_000.;
     fault_delay_us = 50.;
     injector = None;

@@ -34,6 +34,20 @@ type t = {
   poll_forward_chunk_us : float;  (** backend blocking chunk per poll RPC *)
   poll_forward_backoff_us : float;
       (** frontend sleep between not-ready poll chunks (spin bound) *)
+  sanitize_requests : bool;
+      (** post-decode request sanitization pass (ablation knob) *)
+  max_transfer_bytes : int;
+      (** largest read/write a guest may request (allocation bound) *)
+  poll_timeout_cap_us : float;
+      (** forwarded poll timeouts clamped into [0, cap] *)
+  max_open_vfds : int;  (** open virtual descriptors per guest link *)
+  max_grant_entries : int;
+      (** outstanding grant-table entries per guest (quota) *)
+  cpu_budget_us : float;
+      (** backend CPU budget per guest per window; 0 = unlimited *)
+  cpu_budget_window_us : float;  (** budget accounting window *)
+  quarantine_threshold : int;
+      (** misbehavior score triggering quarantine; 0 = never *)
   driver_reboot_us : float;  (** driver-VM kill -> serving again *)
   fault_delay_us : float;  (** extra latency when the delay fault fires *)
   injector : Sim.Fault_inject.t option;  (** deterministic fault plan *)

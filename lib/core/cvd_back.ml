@@ -21,6 +21,20 @@ type guest_link = {
   files : (int, file_state) Hashtbl.t; (* vfd -> state, shared by workers *)
   mutable next_vfd : int;
   mutable ops_served : int;
+  (* -- containment (§4, §7.1: the backend treats every guest as
+        potentially hostile).  Counters are per guest so one attacker
+        cannot pollute a sibling's record. -- *)
+  mutable malformed : int; (* undecodable descriptors *)
+  mutable rejected : int; (* sanitization refusals *)
+  mutable grant_faults : int; (* hypervisor grant-validation rejections *)
+  mutable quota_breaches : int; (* vfd-cap and grant-quota refusals *)
+  mutable throttle_events : int; (* CPU-budget enforcement pauses *)
+  mutable cpu_used_us : float; (* backend CPU charged this window *)
+  mutable cpu_window_start : float;
+  mutable max_dispatch_len : int; (* largest read/write len past sanitize *)
+  mutable score : int; (* weighted misbehavior score *)
+  mutable quarantined : bool;
+  mutable grant_quota_seen : int; (* Grant_table.quota_breaches last read *)
 }
 
 type t = {
@@ -63,6 +77,94 @@ let link_stats link = (link.ops_served, Chan_pool.stats link.pool)
 let site_wedge = "back.wedge"
 let site_crash = "cvd.crash"
 
+(* ---- hostile-guest containment ---- *)
+
+(* Misbehavior weights: deliberate protocol violations (garbage bytes,
+   undeclared memory operations) weigh more than bound violations a
+   buggy-but-honest guest could also hit (oversized transfers, quota
+   exhaustion). *)
+let score_malformed = 5
+let score_rejected = 3
+let score_grant_fault = 5
+let score_quota_breach = 2
+
+let m_incr ?by t name =
+  if Obs.Trace.enabled t.config.Config.tracer then
+    Obs.Metrics.incr ?by (Obs.Trace.metrics t.config.Config.tracer) name
+
+let audit t = Hypervisor.Hyp.audit t.hyp
+
+let note_sanitize_rejection t =
+  let a = audit t in
+  a.Hypervisor.Audit.sanitize_rejections <-
+    a.Hypervisor.Audit.sanitize_rejections + 1
+
+(** Quarantine a misbehaving guest: §4.1's fault containment turned
+    around — the backend protects itself and the sibling guests from a
+    hostile frontend.  Everything the guest holds on the backend side
+    is torn down: open files force-released (subscribers dropped, open
+    counts restored so exclusive devices do not stay EBUSY), its
+    outstanding grants revoked, its cross-VM mappings destroyed, its
+    channels poisoned.  Sibling links share none of that state and
+    keep full service. *)
+let quarantine t link worker =
+  if not link.quarantined then begin
+    link.quarantined <- true;
+    let a = audit t in
+    a.Hypervisor.Audit.quarantines <- a.Hypervisor.Audit.quarantines + 1;
+    m_incr t "containment.quarantines";
+    Hashtbl.iter
+      (fun _ fs ->
+        if not fs.file.Defs.closed then begin
+          (try fs.file.Defs.dev.Defs.ops.Defs.fop_release worker fs.file
+           with _ -> () (* a raising driver must not block teardown *));
+          fs.file.Defs.closed <- true;
+          fs.file.Defs.dev.Defs.open_count <-
+            fs.file.Defs.dev.Defs.open_count - 1;
+          fs.file.Defs.fasync_subscribers <- []
+        end)
+      link.files;
+    Hashtbl.reset link.files;
+    (match Hypervisor.Hyp.grant_table_of t.hyp link.guest_vm with
+    | Some table -> ignore (Hypervisor.Grant_table.revoke_all table)
+    | None -> ());
+    ignore (Hypervisor.Hyp.teardown_vm_mappings t.hyp ~target:link.guest_vm);
+    Chan_pool.iter_channels link.pool Channel.kill
+  end
+
+(* Each containment event adds weighted points; past the configured
+   threshold the guest is cut off.  0 disables quarantine (counters
+   still accumulate for observability). *)
+let note_misbehavior t link worker points =
+  link.score <- link.score + points;
+  let threshold = t.config.Config.quarantine_threshold in
+  if threshold > 0 && (not link.quarantined) && link.score >= threshold then
+    quarantine t link worker
+
+(* CPU-budget rate limiting: a guest that burned more backend CPU than
+   [cpu_budget_us] inside one accounting window has its next operation
+   delayed to the window boundary, so a guest spinning expensive
+   operations cannot starve siblings' ring service.  Throttling is
+   rate limiting, not misbehavior — it does not feed the score. *)
+let throttle t link =
+  let budget = t.config.Config.cpu_budget_us in
+  if budget > 0. then begin
+    let engine = Kernel.engine t.kernel in
+    let window = t.config.Config.cpu_budget_window_us in
+    let now = Sim.Engine.now engine in
+    if now -. link.cpu_window_start >= window then begin
+      link.cpu_window_start <- now;
+      link.cpu_used_us <- 0.
+    end
+    else if link.cpu_used_us >= budget then begin
+      link.throttle_events <- link.throttle_events + 1;
+      m_incr t "containment.throttles";
+      Sim.Engine.wait (link.cpu_window_start +. window -. now);
+      link.cpu_window_start <- Sim.Engine.now engine;
+      link.cpu_used_us <- 0.
+    end
+  end
+
 let find_file link vfd =
   match Hashtbl.find_opt link.files vfd with
   | Some fs -> fs
@@ -82,7 +184,16 @@ let dispatch t link worker (req : Proto.request) : Proto.response =
   match req with
   | Proto.Rnoop -> Proto.Rok 0
   | Proto.Ropen { path } ->
-      if not (List.mem path t.exports) then Proto.Rerr (Errno.to_code Errno.ENODEV)
+      if Hashtbl.length link.files >= t.config.Config.max_open_vfds then begin
+        (* per-guest descriptor cap: an open loop exhausts the guest's
+           own allowance, not the backend's tables *)
+        link.quota_breaches <- link.quota_breaches + 1;
+        m_incr t "containment.quota_breaches";
+        note_misbehavior t link worker score_quota_breach;
+        Proto.Rerr (Errno.to_code Errno.EBUSY)
+      end
+      else if not (List.mem path t.exports) then
+        Proto.Rerr (Errno.to_code Errno.ENODEV)
       else
         wrap (fun () ->
             Kernel.charge_syscall kernel;
@@ -117,18 +228,30 @@ let dispatch t link worker (req : Proto.request) : Proto.response =
       Hashtbl.remove link.files vfd;
       wrap (fun () ->
           Kernel.charge_syscall kernel;
-          fs.file.Defs.dev.Defs.ops.Defs.fop_release worker fs.file;
-          fs.file.Defs.closed <- true;
-          fs.file.Defs.dev.Defs.open_count <- fs.file.Defs.dev.Defs.open_count - 1;
-          fs.file.Defs.fasync_subscribers <- [];
+          (* The driver's release handler may fail; the backend's own
+             bookkeeping must not depend on it.  Without the protect, a
+             raising fop_release leaked the file's fasync subscription
+             (and the device open count): a guest that armed SIGIO and
+             then released kept a dead worker subscribed to driver
+             notifications forever. *)
+          Fun.protect
+            ~finally:(fun () ->
+              fs.file.Defs.closed <- true;
+              fs.file.Defs.dev.Defs.open_count <-
+                fs.file.Defs.dev.Defs.open_count - 1;
+              fs.file.Defs.fasync_subscribers <- [])
+            (fun () ->
+              fs.file.Defs.dev.Defs.ops.Defs.fop_release worker fs.file);
           0)
   | Proto.Rread { vfd; buf; len } ->
       let fs = find_file link vfd in
+      link.max_dispatch_len <- max link.max_dispatch_len len;
       wrap (fun () ->
           Kernel.charge_syscall kernel;
           fs.file.Defs.dev.Defs.ops.Defs.fop_read worker fs.file ~buf ~len)
   | Proto.Rwrite { vfd; buf; len } ->
       let fs = find_file link vfd in
+      link.max_dispatch_len <- max link.max_dispatch_len len;
       wrap (fun () ->
           Kernel.charge_syscall kernel;
           fs.file.Defs.dev.Defs.ops.Defs.fop_write worker fs.file ~buf ~len)
@@ -220,30 +343,111 @@ let dispatch t link worker (req : Proto.request) : Proto.response =
                List.filter (fun t -> t != worker) fs.file.Defs.fasync_subscribers);
           0)
 
+(* Grant-quota refusals happen on the frontend (declare) side, invisible
+   to the backend's request path; pick up the counter delta so they
+   feed the same per-guest score. *)
+let absorb_grant_quota_breaches t link worker =
+  match Hypervisor.Hyp.grant_table_of t.hyp link.guest_vm with
+  | None -> ()
+  | Some table ->
+      let b = Hypervisor.Grant_table.quota_breaches table in
+      if b > link.grant_quota_seen then begin
+        let d = b - link.grant_quota_seen in
+        link.grant_quota_seen <- b;
+        link.quota_breaches <- link.quota_breaches + d;
+        m_incr ~by:d t "containment.quota_breaches";
+        note_misbehavior t link worker (d * score_quota_breach)
+      end
+
+(* Serve one raw descriptor: decode, sanitize, dispatch.  Containment
+   contract: every failure mode of a hostile descriptor — garbage
+   bytes, out-of-bound fields, undeclared memory operations, a driver
+   handler that raises — becomes an error response; no exception
+   escapes to the worker loop. *)
 let serve_one t link worker (bytes : bytes) : Proto.response =
-  match Proto.decode_request bytes with
-  | exception Proto.Malformed _ -> Proto.Rerr (Errno.to_code Errno.EINVAL)
-  | req, grant_ref, pid -> (
-      link.ops_served <- link.ops_served + 1;
-      match req with
-      | Proto.Rnoop -> Proto.Rok 0 (* immediate return, no marking (§6.1.1) *)
-      | _ -> (
-          match Hypervisor.Hyp.find_process_pt t.hyp link.guest_vm ~pid with
-          | None -> Proto.Rerr (Errno.to_code Errno.EFAULT)
-          | Some pt ->
-              let rc =
-                {
-                  Defs.rc_hyp = t.hyp;
-                  rc_target = link.guest_vm;
-                  rc_pt = pt;
-                  rc_grant = grant_ref;
-                  rc_charge =
-                    (fun n -> Kernel.charge t.kernel (n *. t.config.Config.hypercall_us));
-                  rc_trace = Proto.get_trace bytes;
-                }
-              in
-              (try Task.with_remote worker rc (fun () -> dispatch t link worker req)
-               with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e))))
+  absorb_grant_quota_breaches t link worker;
+  if link.quarantined then Proto.Rerr (Errno.to_code Errno.EPERM)
+  else
+    match Proto.decode_request bytes with
+    | exception Proto.Malformed _ ->
+        link.malformed <- link.malformed + 1;
+        note_sanitize_rejection t;
+        m_incr t "containment.malformed";
+        note_misbehavior t link worker score_malformed;
+        Proto.Rerr (Errno.to_code Errno.EINVAL)
+    | (_, grant_ref, pid) as decoded -> (
+        let sanitized =
+          if t.config.Config.sanitize_requests then
+            Proto.validate
+              ~max_transfer_bytes:t.config.Config.max_transfer_bytes
+              ~poll_timeout_cap_us:t.config.Config.poll_timeout_cap_us
+              ~grant_capacity:Hypervisor.Grant_table.capacity decoded
+          else
+            let r, _, _ = decoded in
+            Ok r
+        in
+        match sanitized with
+        | Error _ ->
+            link.rejected <- link.rejected + 1;
+            note_sanitize_rejection t;
+            m_incr t "containment.rejected";
+            note_misbehavior t link worker score_rejected;
+            Proto.Rerr (Errno.to_code Errno.EINVAL)
+        | Ok req -> (
+            link.ops_served <- link.ops_served + 1;
+            match req with
+            | Proto.Rnoop ->
+                Proto.Rok 0 (* immediate return, no marking (§6.1.1) *)
+            | _ -> (
+                match Hypervisor.Hyp.find_process_pt t.hyp link.guest_vm ~pid with
+                | None -> Proto.Rerr (Errno.to_code Errno.EFAULT)
+                | Some pt ->
+                    throttle t link;
+                    let rc =
+                      {
+                        Defs.rc_hyp = t.hyp;
+                        rc_target = link.guest_vm;
+                        rc_pt = pt;
+                        rc_grant = grant_ref;
+                        rc_charge =
+                          (fun n ->
+                            let us = n *. t.config.Config.hypercall_us in
+                            link.cpu_used_us <- link.cpu_used_us +. us;
+                            Kernel.charge t.kernel us);
+                        rc_trace = Proto.get_trace bytes;
+                      }
+                    in
+                    let vm_id = Hypervisor.Vm.id link.guest_vm in
+                    let rej_before =
+                      Hypervisor.Audit.guest_rejections (audit t) ~vm_id
+                    in
+                    link.cpu_used_us <-
+                      link.cpu_used_us +. Kernel.syscall_cost t.kernel;
+                    let resp =
+                      try
+                        Task.with_remote worker rc (fun () ->
+                            dispatch t link worker req)
+                      with
+                      | Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e)
+                      | _ ->
+                          (* an unexpected driver/backend exception is
+                             contained as EIO, never propagated into
+                             the worker loop *)
+                          m_incr t "containment.dispatch_exn";
+                          Proto.Rerr (Errno.to_code Errno.EIO)
+                    in
+                    let rej_after =
+                      Hypervisor.Audit.guest_rejections (audit t) ~vm_id
+                    in
+                    if rej_after > rej_before then begin
+                      let d = rej_after - rej_before in
+                      link.grant_faults <- link.grant_faults + d;
+                      m_incr ~by:d t "containment.grant_faults";
+                      note_misbehavior t link worker (d * score_grant_fault)
+                    end;
+                    if link.quarantined then
+                      Proto.Rerr (Errno.to_code Errno.EPERM)
+                    else resp)))
 
 (** Connect a guest: create its channel pool and workers and start
     serving.  Returns the link; the frontend uses [link.pool]. *)
@@ -257,7 +461,24 @@ let connect t ~guest_vm =
   in
   let pool = Chan_pool.create channels ~cap:t.config.Config.max_queued_ops in
   let link =
-    { guest_vm; pool; files = Hashtbl.create 8; next_vfd = 1; ops_served = 0 }
+    {
+      guest_vm;
+      pool;
+      files = Hashtbl.create 8;
+      next_vfd = 1;
+      ops_served = 0;
+      malformed = 0;
+      rejected = 0;
+      grant_faults = 0;
+      quota_breaches = 0;
+      throttle_events = 0;
+      cpu_used_us = 0.;
+      cpu_window_start = 0.;
+      max_dispatch_len = 0;
+      score = 0;
+      quarantined = false;
+      grant_quota_seen = 0;
+    }
   in
   t.links <- link :: t.links;
   Array.iter

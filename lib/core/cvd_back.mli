@@ -8,6 +8,20 @@ type guest_link = {
   files : (int, file_state) Hashtbl.t;
   mutable next_vfd : int;
   mutable ops_served : int;
+  mutable malformed : int;  (** undecodable descriptors *)
+  mutable rejected : int;  (** sanitization refusals *)
+  mutable grant_faults : int;
+      (** hypervisor grant-validation rejections charged to this guest *)
+  mutable quota_breaches : int;  (** vfd-cap and grant-quota refusals *)
+  mutable throttle_events : int;  (** CPU-budget enforcement pauses *)
+  mutable cpu_used_us : float;  (** backend CPU charged this window *)
+  mutable cpu_window_start : float;
+  mutable max_dispatch_len : int;
+      (** largest read/write length that survived sanitization — the
+          backend's allocation bound witness *)
+  mutable score : int;  (** weighted misbehavior score *)
+  mutable quarantined : bool;
+  mutable grant_quota_seen : int;
 }
 
 and file_state = {
@@ -49,3 +63,27 @@ val site_crash : string
 (** Connect a guest: create its channel pool and workers, start
     serving. *)
 val connect : t -> guest_vm:Hypervisor.Vm.t -> guest_link
+
+(** {1 Hostile-guest containment (§4, §7.1)} *)
+
+(** Serve one raw descriptor through decode → sanitize → dispatch.
+    Containment contract: every failure mode of a hostile descriptor
+    (garbage bytes, out-of-bound fields, undeclared memory operations,
+    a raising driver handler) becomes an error response — no exception
+    escapes.  Exposed so adversarial tests can drive the backend with
+    mutated bytes directly; [worker] must be a task of the backend's
+    kernel. *)
+val serve_one : t -> guest_link -> Oskit.Defs.task -> bytes -> Proto.response
+
+(** Force a guest into quarantine: open files force-released, grants
+    revoked, cross-VM mappings torn down, channels poisoned.  Sibling
+    links keep full service.  Normally triggered by the misbehavior
+    score crossing [Config.quarantine_threshold]. *)
+val quarantine : t -> guest_link -> Oskit.Defs.task -> unit
+
+(** Misbehavior weights feeding [guest_link.score]. *)
+val score_malformed : int
+
+val score_rejected : int
+val score_grant_fault : int
+val score_quota_breach : int

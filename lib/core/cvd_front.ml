@@ -149,6 +149,7 @@ let stop_watchdog t = t.hb_stop <- true
 
 let create ~kernel ~hyp ~guest_vm ~pool ~config =
   let grant_table = Hypervisor.Hyp.setup_grant_table hyp guest_vm in
+  Hypervisor.Grant_table.set_quota grant_table config.Config.max_grant_entries;
   let t =
     {
       kernel;
@@ -183,17 +184,23 @@ let create ~kernel ~hyp ~guest_vm ~pool ~config =
 (* ---- grant management ---- *)
 
 (** Declare the operation's legitimate memory operations; returns the
-    grant reference (or 0 when validation is disabled for ablation). *)
+    grant reference (or 0 when validation is disabled for ablation).
+    A guest past its outstanding-entry quota sees ENOMEM, exactly as a
+    real kernel out of grant slots would. *)
 let declare t ops =
+  let declare_checked ops =
+    try Hypervisor.Grant_table.declare t.grant_table ops
+    with Hypervisor.Grant_table.Quota_exceeded ->
+      Errno.fail Errno.ENOMEM "grant quota exhausted"
+  in
   if not t.config.Config.validate_grants then 0
   else if ops = [] then
     (* groups cannot be empty; declare a harmless zero-length entry *)
-    Hypervisor.Grant_table.declare t.grant_table
-      [ Hypervisor.Grant_table.Copy_from_user { addr = 0; len = 0 } ]
+    declare_checked [ Hypervisor.Grant_table.Copy_from_user { addr = 0; len = 0 } ]
   else begin
     Kernel.charge t.kernel
       (float_of_int (List.length ops) *. t.config.Config.grant_declare_us);
-    Hypervisor.Grant_table.declare t.grant_table ops
+    declare_checked ops
   end
 
 let release t grant_ref =

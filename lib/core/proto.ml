@@ -130,18 +130,106 @@ let decode_request b =
     | 7 -> Rfault { vfd; gva = r64 b 16 }
     | 8 -> Rmunmap { vfd; gva = r64 b 16; len = r64 b 24 }
     | 9 ->
-        Rpoll
-          {
-            vfd;
-            want_in = r32 b 16 <> 0;
-            want_out = r32 b 20 <> 0;
-            timeout_us = Int64.float_of_bits (Bytes.get_int64_le b 24);
-          }
+        (* The timeout travels as raw float bits, so a hostile guest
+           can encode NaN, negatives or infinities — any of which would
+           corrupt the backend's deadline_left arithmetic (NaN poisons
+           every comparison).  Reject them at decode. *)
+        let timeout_us = Int64.float_of_bits (Bytes.get_int64_le b 24) in
+        if Float.is_nan timeout_us || timeout_us < 0. || timeout_us = infinity
+        then raise (Malformed "poll timeout");
+        Rpoll { vfd; want_in = r32 b 16 <> 0; want_out = r32 b 20 <> 0; timeout_us }
     | 10 -> Rfasync { vfd; on = r32 b 16 <> 0 }
     | 11 -> Rnoop
     | n -> raise (Malformed (Printf.sprintf "opcode %d" n))
   in
   (req, grant_ref, pid)
+
+(* ---- request sanitization (§4, §7.1: the backend does not trust the
+   frontend) ----
+
+   A decoded request is only well-formed bytes; nothing guarantees its
+   fields are sane.  [validate] enforces bounds on every field after
+   decode and before dispatch, returning either a (possibly clamped)
+   request or the field that failed.  Range checks use the host's
+   [int] semantics: the wire u64s are read through [Int64.to_int], so
+   a huge unsigned value surfaces here as a negative [int] and is
+   caught by the [>= 0] checks. *)
+
+type violation = { field : string; detail : string }
+
+let violation field detail = Error { field; detail }
+
+(* Device mmaps legitimately exceed the copy-transfer cap (a GPU BO or
+   a netmap ring can be tens of MiB), but must still be bounded. *)
+let max_mmap_bytes = 1 lsl 30
+
+let max_vfd = 1 lsl 20
+
+let valid_path path =
+  let n = String.length path in
+  let has_dotdot = ref false in
+  for i = 0 to n - 2 do
+    if path.[i] = '.' && path.[i + 1] = '.' then has_dotdot := true
+  done;
+  n > 5 && n <= 256
+  && String.sub path 0 5 = "/dev/"
+  && (not (String.contains path '\000'))
+  && not !has_dotdot
+
+let check_vfd vfd k =
+  if vfd < 0 || vfd > max_vfd then violation "vfd" "out of range" else k ()
+
+let validate ~max_transfer_bytes ~poll_timeout_cap_us ~grant_capacity
+    ((req : request), grant_ref, pid) : (request, violation) result =
+  if grant_ref < 0 || grant_ref >= grant_capacity then
+    violation "grant_ref" "outside grant table"
+  else if pid < 0 then violation "pid" "negative"
+  else
+    match req with
+    | Rnoop -> Ok req
+    | Ropen { path } ->
+        if valid_path path then Ok req
+        else violation "path" "not a devfs path (or NUL / dot-dot)"
+    | Rrelease { vfd } -> check_vfd vfd (fun () -> Ok req)
+    | Rread { vfd; buf; len } | Rwrite { vfd; buf; len } ->
+        check_vfd vfd (fun () ->
+            if len < 0 || len > max_transfer_bytes then
+              violation "len" "transfer larger than max_transfer_bytes"
+            else if buf < 0 then violation "buf" "negative user address"
+            else Ok req)
+    | Rioctl { vfd; cmd; _ } ->
+        check_vfd vfd (fun () ->
+            if cmd < 0 || cmd > 0xffff_ffff then
+              violation "cmd" "not a u32 ioctl number"
+            else Ok req)
+    | Rmmap { vfd; gva; len; pgoff } ->
+        check_vfd vfd (fun () ->
+            if len <= 0 || len > max_mmap_bytes then
+              violation "len" "mmap length out of range"
+            else if gva < 0 || gva > max_int - len then
+              violation "gva" "range wraps"
+            else if pgoff < 0 then violation "pgoff" "negative"
+            else Ok req)
+    | Rfault { vfd; gva } ->
+        check_vfd vfd (fun () ->
+            if gva < 0 then violation "gva" "negative" else Ok req)
+    | Rmunmap { vfd; gva; len } ->
+        check_vfd vfd (fun () ->
+            if len <= 0 || len > max_mmap_bytes then
+              violation "len" "munmap length out of range"
+            else if gva < 0 || gva > max_int - len then
+              violation "gva" "range wraps"
+            else Ok req)
+    | Rpoll ({ vfd; timeout_us; _ } as p) ->
+        check_vfd vfd (fun () ->
+            (* decode already rejected NaN/negative/infinite; clamp
+               merely-huge timeouts into the configured cap *)
+            if Float.is_nan timeout_us || timeout_us < 0. then
+              violation "timeout" "non-finite"
+            else if timeout_us > poll_timeout_cap_us then
+              Ok (Rpoll { p with timeout_us = poll_timeout_cap_us })
+            else Ok req)
+    | Rfasync { vfd; _ } -> check_vfd vfd (fun () -> Ok req)
 
 let encode_response resp =
   let b = Bytes.make slot_size '\000' in

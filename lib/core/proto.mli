@@ -45,6 +45,29 @@ val encode_request : grant_ref:int -> pid:int -> request -> bytes
     garbage (a malicious frontend cannot crash the backend). *)
 val decode_request : bytes -> request * int * int
 
+(** A field that failed sanitization. *)
+type violation = { field : string; detail : string }
+
+(** Post-decode, pre-dispatch sanitization (§4, §7.1): bound every
+    field of a decoded request.  Returns the request (poll timeouts
+    clamped into [[0, poll_timeout_cap_us]]) or the offending field.
+    Oversized reads/writes, non-devfs or NUL-bearing open paths,
+    out-of-range vfd/grant_ref/pid and wrapping mmap ranges are all
+    rejected here so nothing downstream sees them. *)
+val validate :
+  max_transfer_bytes:int ->
+  poll_timeout_cap_us:float ->
+  grant_capacity:int ->
+  request * int * int ->
+  (request, violation) result
+
+(** Largest mmap/munmap range {!validate} accepts (device BARs exceed
+    the copy-transfer cap but must still be bounded). *)
+val max_mmap_bytes : int
+
+(** Largest virtual descriptor number {!validate} accepts. *)
+val max_vfd : int
+
 val encode_response : response -> bytes
 val decode_response : bytes -> response
 val op_kind_of_request : request -> Oskit.Os_flavor.op_kind

@@ -17,6 +17,12 @@ type t = {
   mutable pages_scrubbed : int;
   mutable ept_perm_updates : int;
   mutable grant_cache_hits : int;
+  mutable sanitize_rejections : int;
+  mutable quarantines : int;
+  (* Per-guest attribution of grant-validation rejections: the backend
+     serves many guests from one audit sink, so containment scoring
+     needs to know {e which} VM's requests keep failing validation. *)
+  guest_rejections : (int, int ref) Hashtbl.t;
   tlb : Memory.Tlb.stats;
 }
 
@@ -32,8 +38,21 @@ let create () =
     pages_scrubbed = 0;
     ept_perm_updates = 0;
     grant_cache_hits = 0;
+    sanitize_rejections = 0;
+    quarantines = 0;
+    guest_rejections = Hashtbl.create 7;
     tlb = Memory.Tlb.create_stats ();
   }
+
+let note_guest_rejection t ~vm_id =
+  match Hashtbl.find_opt t.guest_rejections vm_id with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.guest_rejections vm_id (ref 1)
+
+let guest_rejections t ~vm_id =
+  match Hashtbl.find_opt t.guest_rejections vm_id with
+  | Some r -> !r
+  | None -> 0
 
 let tlb_hits t = t.tlb.Memory.Tlb.hits
 let tlb_misses t = t.tlb.Memory.Tlb.misses
@@ -43,7 +62,8 @@ let pp ppf t =
   Fmt.pf ppf
     "hypercalls=%d copies=%d bytes=%d rejected=%d maps=%d unmaps=%d \
      switches=%d scrubbed=%d tlb_hits=%d tlb_misses=%d walks=%d \
-     grant_cache_hits=%d"
+     grant_cache_hits=%d sanitize_rejections=%d quarantines=%d"
     t.hypercalls t.copies_validated t.copy_bytes t.grants_rejected
     t.maps_performed t.unmaps_performed t.region_switches t.pages_scrubbed
     (tlb_hits t) (tlb_misses t) (walks_performed t) t.grant_cache_hits
+    t.sanitize_rejections t.quarantines

@@ -35,9 +35,17 @@ type t = {
      hypervisor's grant-check cache can detect stale entries.  All
      writes to the table page go through those three functions. *)
   mutable generation : int;
+  (* Outstanding-entry quota: a guest may be capped below the physical
+     table capacity, bounding how much validation state it can pin.
+     [active] mirrors the non-free slot count (same three mutators). *)
+  mutable quota : int;
+  mutable active : int;
+  mutable quota_breaches : int;
 }
 
 exception Table_full
+
+exception Quota_exceeded
 
 let create phys ~guest_vm =
   let page = Shared_page.allocate phys in
@@ -49,10 +57,20 @@ let create phys ~guest_vm =
     guest = Shared_page.view_of page guest_vm;
     hyp = Shared_page.hypervisor_view page;
     generation = 0;
+    quota = capacity;
+    active = 0;
+    quota_breaches = 0;
   }
 
 let page t = t.page
 let generation t = t.generation
+
+let set_quota t q =
+  if q < 1 || q > capacity then invalid_arg "Grant_table.set_quota";
+  t.quota <- q
+
+let quota t = t.quota
+let quota_breaches t = t.quota_breaches
 
 let kind_code = function
   | Copy_to_user _ -> 1
@@ -98,6 +116,13 @@ let slot_free (view : Shared_page.view) slot =
 let declare t ops =
   if ops = [] then invalid_arg "Grant_table.declare: empty group";
   let n = List.length ops in
+  (* Quota check only when the guest is capped below the physical
+     table: at full quota an overflowing declare is simply Table_full,
+     as before quotas existed. *)
+  if t.quota < capacity && t.active + n > t.quota then begin
+    t.quota_breaches <- t.quota_breaches + 1;
+    raise Quota_exceeded
+  end;
   (* first-fit scan for n contiguous free slots *)
   let rec fits start i =
     i >= n || (slot_free t.guest (start + i) && fits start (i + 1))
@@ -111,6 +136,7 @@ let declare t ops =
   List.iteri
     (fun i op -> write_entry t.guest ~slot:(start + i) ~op ~last:(i = n - 1))
     ops;
+  t.active <- t.active + n;
   t.generation <- t.generation + 1;
   start
 
@@ -119,7 +145,8 @@ let release t grant_ref =
   let rec go slot =
     if slot >= capacity then ()
     else begin
-      let _, last = read_entry t.guest ~slot in
+      let op, last = read_entry t.guest ~slot in
+      if op <> None then t.active <- max 0 (t.active - 1);
       t.guest.Shared_page.write_u32 ~offset:(slot * entry_size) 0;
       if not last then go (slot + 1)
     end
@@ -140,6 +167,7 @@ let revoke_all t =
       incr cleared
     end
   done;
+  t.active <- 0;
   t.generation <- t.generation + 1;
   !cleared
 

@@ -15,6 +15,11 @@ type t
 
 exception Table_full
 
+(** Raised by {!declare} when the group would push the guest's
+    outstanding-entry count past its {!set_quota} cap (§7.1: one guest
+    must not pin unbounded validation state). *)
+exception Quota_exceeded
+
 val entry_size : int
 val capacity : int
 val create : Memory.Phys_mem.t -> guest_vm:Vm.t -> t
@@ -38,6 +43,15 @@ val revoke_all : t -> int
 
 (** Outstanding (non-free) entries. *)
 val active_entries : t -> int
+
+(** Cap the guest's outstanding entries below the physical table
+    capacity.  Rejects caps outside [1, capacity]. *)
+val set_quota : t -> int -> unit
+
+val quota : t -> int
+
+(** How many {!declare} calls were refused with {!Quota_exceeded}. *)
+val quota_breaches : t -> int
 
 (** Hypervisor: the operations declared under a reference. *)
 val lookup : t -> int -> op list

@@ -38,3 +38,4 @@ let spawn_task t ~name =
 let charge _t amount = if amount > 0. then Sim.Engine.wait amount
 
 let charge_syscall t = charge t t.costs.syscall_us
+let syscall_cost t = t.costs.syscall_us

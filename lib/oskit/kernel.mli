@@ -26,3 +26,7 @@ val spawn_task : t -> name:string -> Defs.task
 val charge : t -> float -> unit
 
 val charge_syscall : t -> unit
+
+(** The per-syscall charge of this kernel's cost model (what one
+    {!charge_syscall} costs) — lets callers account CPU budgets. *)
+val syscall_cost : t -> float

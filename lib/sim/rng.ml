@@ -18,10 +18,13 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(** [int t bound] is uniform in [\[0, bound)]. *)
+(** [int t bound] is uniform in [\[0, bound)].  The draw is shifted
+    down to 62 bits so [Int64.to_int] can never wrap it negative on a
+    63-bit OCaml int (a 63-bit draw made [r] — and the result —
+    negative about half the time). *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) in
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
   r mod bound
 
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -25,6 +25,11 @@ let () =
       Paradice.Config.injector = Some inj;
       rpc_timeout_us = 500.;
       rpc_retries = 3;
+      (* this suite injects transport noise, not guest malice: corrupted
+         frames count toward the backend's misbehavior score, and at the
+         default threshold a 5% corruption rate would quarantine the
+         guest mid-storm (test/hostile_suite.ml covers that path) *)
+      quarantine_threshold = 0;
     }
   in
   let m = M.create ~config () in

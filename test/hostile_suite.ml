@@ -1,0 +1,341 @@
+(* Adversarial fuzzing suite, run by `dune build @check` (or
+   @hostile-suite): every guest is treated as compromised and the
+   backend must contain it.
+
+   Three campaigns, all on fixed Sim.Rng seeds so runs replay exactly:
+
+   1. Descriptor fuzz: for each seed, >=1000 mutated descriptors are
+      fed straight into [Cvd_back.serve_one] — valid encodings with
+      random byte flips, plus fully random slots.  Invariants: no
+      exception ever escapes serve_one (every descriptor gets a
+      response), and nothing larger than [Config.max_transfer_bytes]
+      ever reaches dispatch.
+   2. Through-ring attack: raw bytes written into live ring slots with
+      [Channel.inject_raw] while the real backend workers consume
+      them.  The attacker must end up quarantined without the engine
+      observing an escaped exception.
+   3. Quarantine isolation: a victim guest runs a fixed noop workload
+      solo, then again while a sibling attacker misbehaves into
+      quarantine.  The victim's elapsed (simulated) time must stay
+      within 20% of the solo baseline.
+
+   A machine-readable summary is written to HOSTILE_fuzz.json for the
+   CI artifact. *)
+
+module M = Paradice.Machine
+module CB = Paradice.Cvd_back
+module P = Paradice.Proto
+open Oskit
+
+let seeds =
+  [
+    0x5EED_0001L; 0x5EED_0002L; 0x5EED_0003L; 0x5EED_0004L;
+    0x5EED_0005L; 0x5EED_0006L; 0x5EED_0007L; 0x5EED_0008L;
+    0x5EED_0009L; 0x5EED_000AL; 0x5EED_000BL; 0x5EED_000CL;
+  ]
+
+let descriptors_per_seed = 1000
+let victim_noops = 200
+
+let violations = ref []
+
+let violation fmt =
+  Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+
+let run_in eng f =
+  let r = ref None in
+  Sim.Engine.spawn eng (fun () -> r := Some (f ()));
+  Sim.Engine.run eng;
+  Option.get !r
+
+(* ---- campaign 1: descriptor fuzz through serve_one ---- *)
+
+type fuzz_totals = {
+  mutable served : int;
+  mutable ok : int;
+  mutable err : int;
+  mutable poll_replies : int;
+  mutable escapes : int;
+  mutable malformed : int;
+  mutable sanitize_rejected : int;
+}
+
+let totals =
+  {
+    served = 0;
+    ok = 0;
+    err = 0;
+    poll_replies = 0;
+    escapes = 0;
+    malformed = 0;
+    sanitize_rejected = 0;
+  }
+
+let paths =
+  [|
+    "/dev/null0"; "/dev/input/event0"; "/etc/passwd"; "/dev/../etc/shadow";
+    "/dev/nu\000ll0"; ""; "/"; String.make 300 'A';
+  |]
+
+let random_request rng =
+  let vfd = Sim.Rng.int rng 12 - 1 in
+  match Sim.Rng.int rng 11 with
+  | 0 -> P.Rnoop
+  | 1 -> P.Ropen { path = paths.(Sim.Rng.int rng (Array.length paths)) }
+  | 2 -> P.Rrelease { vfd }
+  | 3 ->
+      P.Rread
+        { vfd; buf = Sim.Rng.int rng 0x20000; len = Sim.Rng.int rng (1 lsl 24) }
+  | 4 ->
+      P.Rwrite
+        { vfd; buf = Sim.Rng.int rng 0x20000; len = Sim.Rng.int rng (1 lsl 24) }
+  | 5 ->
+      P.Rioctl
+        { vfd; cmd = Sim.Rng.int rng 0x1000000; arg = Sim.Rng.next_int64 rng }
+  | 6 ->
+      P.Rmmap
+        {
+          vfd;
+          gva = Sim.Rng.int rng max_int;
+          len = Sim.Rng.int rng (1 lsl 20);
+          pgoff = Sim.Rng.int rng 16;
+        }
+  | 7 -> P.Rfault { vfd; gva = Sim.Rng.int rng max_int }
+  | 8 ->
+      P.Rmunmap
+        { vfd; gva = Sim.Rng.int rng max_int; len = Sim.Rng.int rng (1 lsl 20) }
+  | 9 ->
+      let timeout_us =
+        match Sim.Rng.int rng 5 with
+        | 0 -> Float.nan
+        | 1 -> -.Sim.Rng.float rng 1e6
+        | 2 -> Float.infinity
+        | 3 -> Sim.Rng.float rng 1e12
+        | _ -> Sim.Rng.float rng 500.
+      in
+      P.Rpoll
+        {
+          vfd;
+          want_in = Sim.Rng.bool rng;
+          want_out = Sim.Rng.bool rng;
+          timeout_us;
+        }
+  | _ -> P.Rfasync { vfd; on = Sim.Rng.bool rng }
+
+let mutated_descriptor rng ~pid =
+  if Sim.Rng.int rng 5 = 0 then
+    (* fully random slot *)
+    Bytes.init P.slot_size (fun _ -> Char.chr (Sim.Rng.int rng 256))
+  else begin
+    let grant_ref =
+      if Sim.Rng.bool rng then Sim.Rng.int rng 8
+      else Sim.Rng.int rng 65536 - 32768
+    in
+    let pid = if Sim.Rng.bool rng then pid else Sim.Rng.int rng 65536 - 100 in
+    let b =
+      try P.encode_request ~grant_ref ~pid (random_request rng)
+      with _ -> Bytes.make P.slot_size '\x00'
+    in
+    (* random byte flips over the encoded descriptor *)
+    if Sim.Rng.int rng 5 > 0 then begin
+      let flips = 1 + Sim.Rng.int rng 24 in
+      for _ = 1 to flips do
+        Bytes.set b
+          (Sim.Rng.int rng (Bytes.length b))
+          (Char.chr (Sim.Rng.int rng 256))
+      done
+    end;
+    b
+  end
+
+let fuzz_seed seed =
+  let config =
+    {
+      Paradice.Config.default with
+      (* keep dispatching: the point is to pound the full serve path,
+         not to stop at the first quarantine *)
+      Paradice.Config.quarantine_threshold = 0;
+    }
+  in
+  let m = M.create ~config () in
+  let (_ : Defs.device) = M.attach_null m in
+  let g = M.add_guest m ~name:"fuzz" () in
+  let rng = Sim.Rng.create ~seed in
+  run_in (M.engine m) (fun () ->
+      let link = g.M.link in
+      let w = Kernel.spawn_task (M.driver_kernel m) ~name:"fuzz-worker" in
+      let app = M.spawn_app m g.M.kernel ~name:"fuzz-app" in
+      let pid = app.Defs.pid in
+      (* a couple of live vfds so mutations can hit real open files *)
+      for _ = 1 to 2 do
+        ignore
+          (CB.serve_one m.M.backend link w
+             (P.encode_request ~grant_ref:0 ~pid (P.Ropen { path = "/dev/null0" })))
+      done;
+      for i = 1 to descriptors_per_seed do
+        let desc = mutated_descriptor rng ~pid in
+        match CB.serve_one m.M.backend link w desc with
+        | P.Rok _ ->
+            totals.served <- totals.served + 1;
+            totals.ok <- totals.ok + 1
+        | P.Rerr _ ->
+            totals.served <- totals.served + 1;
+            totals.err <- totals.err + 1
+        | P.Rpoll_reply _ ->
+            totals.served <- totals.served + 1;
+            totals.poll_replies <- totals.poll_replies + 1
+        | exception e ->
+            totals.escapes <- totals.escapes + 1;
+            violation "seed=%#Lx desc=%d: exception escaped serve_one: %s" seed
+              i (Printexc.to_string e)
+      done;
+      totals.malformed <- totals.malformed + link.CB.malformed;
+      totals.sanitize_rejected <- totals.sanitize_rejected + link.CB.rejected;
+      if link.CB.max_dispatch_len > config.Paradice.Config.max_transfer_bytes
+      then
+        violation "seed=%#Lx: dispatch saw len %d past the %d cap" seed
+          link.CB.max_dispatch_len config.Paradice.Config.max_transfer_bytes)
+
+(* ---- campaign 2: raw injection into live ring slots ---- *)
+
+let through_ring_attack seed =
+  let m = M.create () in
+  let (_ : Defs.device) = M.attach_null m in
+  let attacker = M.add_guest m ~name:"attacker" () in
+  let victim = M.add_guest m ~name:"victim" () in
+  let rng = Sim.Rng.create ~seed in
+  let vic_ok = ref 0 in
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      (* hostile guest kernel: scribble over every ring slot it has
+         mapped, repeatedly, while the real workers consume *)
+      for _round = 1 to 30 do
+        Paradice.Chan_pool.iter_channels attacker.M.link.CB.pool (fun c ->
+            for slot = 0 to Paradice.Channel.ring_slots c - 1 do
+              let junk =
+                Bytes.init P.slot_size (fun _ ->
+                    Char.chr (Sim.Rng.int rng 256))
+              in
+              Paradice.Channel.inject_raw c ~slot junk
+            done);
+        Sim.Engine.wait 50.
+      done);
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m victim.M.kernel ~name:"victim" in
+      let req = P.encode_request ~grant_ref:0 ~pid:app.Defs.pid P.Rnoop in
+      for _ = 1 to victim_noops do
+        match P.decode_response (Paradice.Chan_pool.rpc victim.M.link.CB.pool req)
+        with
+        | P.Rok 0 -> incr vic_ok
+        | _ -> ()
+        | exception _ -> ()
+      done);
+  (try Sim.Engine.run ~until:5_000_000. (M.engine m)
+   with e ->
+     violation "through-ring seed=%#Lx: exception escaped the engine: %s" seed
+       (Printexc.to_string e));
+  if not attacker.M.link.CB.quarantined then
+    violation "through-ring seed=%#Lx: attacker was not quarantined" seed;
+  if victim.M.link.CB.quarantined then
+    violation "through-ring seed=%#Lx: victim got quarantined" seed;
+  if !vic_ok <> victim_noops then
+    violation "through-ring seed=%#Lx: victim served %d/%d noops" seed !vic_ok
+      victim_noops;
+  let audit = Hypervisor.Hyp.audit (M.hyp m) in
+  if audit.Hypervisor.Audit.quarantines <> 1 then
+    violation "through-ring seed=%#Lx: expected 1 quarantine, audit says %d"
+      seed audit.Hypervisor.Audit.quarantines
+
+(* ---- campaign 3: victim throughput vs. solo baseline ---- *)
+
+(* Same two-guest machine; the victim runs a fixed noop workload.  When
+   [attack] is set the sibling misbehaves its way into quarantine. *)
+let victim_elapsed ~attack =
+  let m = M.create () in
+  let (_ : Defs.device) = M.attach_null m in
+  let attacker = M.add_guest m ~name:"attacker" () in
+  let victim = M.add_guest m ~name:"victim" () in
+  let elapsed = ref nan in
+  let vic_ok = ref 0 in
+  if attack then
+    Sim.Engine.spawn (M.engine m) (fun () ->
+        let rng = Sim.Rng.create ~seed:0xBADD1EL in
+        for _round = 1 to 20 do
+          Paradice.Chan_pool.iter_channels attacker.M.link.CB.pool (fun c ->
+              for slot = 0 to Paradice.Channel.ring_slots c - 1 do
+                Paradice.Channel.inject_raw c ~slot
+                  (Bytes.init P.slot_size (fun _ ->
+                       Char.chr (Sim.Rng.int rng 256)))
+              done);
+          Sim.Engine.wait 25.
+        done);
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m victim.M.kernel ~name:"victim" in
+      let req = P.encode_request ~grant_ref:0 ~pid:app.Defs.pid P.Rnoop in
+      let t0 = Sim.Engine.now (M.engine m) in
+      for _ = 1 to victim_noops do
+        match P.decode_response (Paradice.Chan_pool.rpc victim.M.link.CB.pool req)
+        with
+        | P.Rok 0 -> incr vic_ok
+        | _ -> ()
+        | exception _ -> ()
+      done;
+      elapsed := Sim.Engine.now (M.engine m) -. t0);
+  (try Sim.Engine.run ~until:5_000_000. (M.engine m)
+   with e ->
+     violation "throughput run (attack=%b): escaped exception: %s" attack
+       (Printexc.to_string e));
+  if !vic_ok <> victim_noops then
+    violation "throughput run (attack=%b): victim served %d/%d" attack !vic_ok
+      victim_noops;
+  if attack && not attacker.M.link.CB.quarantined then
+    violation "throughput run: attacker was not quarantined";
+  !elapsed
+
+(* ---- driver ---- *)
+
+let () =
+  List.iter fuzz_seed seeds;
+  List.iter through_ring_attack [ 0x1AB0_0001L; 0x1AB0_0002L ];
+  let solo_us = victim_elapsed ~attack:false in
+  let attacked_us = victim_elapsed ~attack:true in
+  let ratio = attacked_us /. solo_us in
+  if Float.is_nan ratio || ratio > 1.2 then
+    violation
+      "victim throughput degraded past 20%%: solo=%.1fus attacked=%.1fus \
+       (ratio %.3f)"
+      solo_us attacked_us ratio;
+  let n_violations = List.length !violations in
+  let oc = open_out "HOSTILE_fuzz.json" in
+  Printf.fprintf oc
+    {|{
+  "seeds": %d,
+  "descriptors_per_seed": %d,
+  "total_descriptors": %d,
+  "responses": { "ok": %d, "err": %d, "poll_replies": %d },
+  "malformed": %d,
+  "sanitize_rejected": %d,
+  "escaped_exceptions": %d,
+  "victim_solo_us": %.1f,
+  "victim_attacked_us": %.1f,
+  "victim_ratio": %.4f,
+  "violations": %d
+}
+|}
+    (List.length seeds) descriptors_per_seed totals.served totals.ok totals.err
+    totals.poll_replies totals.malformed totals.sanitize_rejected totals.escapes
+    solo_us attacked_us ratio n_violations;
+  close_out oc;
+  Printf.printf
+    "hostile suite: %d seeds x %d descriptors, %d served (ok=%d err=%d \
+     poll=%d), malformed=%d sanitized=%d escapes=%d\n"
+    (List.length seeds) descriptors_per_seed totals.served totals.ok totals.err
+    totals.poll_replies totals.malformed totals.sanitize_rejected totals.escapes;
+  Printf.printf "hostile suite: victim solo=%.1fus attacked=%.1fus ratio=%.3f\n"
+    solo_us attacked_us ratio;
+  match !violations with
+  | [] -> print_endline "hostile suite: OK"
+  | vs ->
+      List.iter
+        (fun v -> print_endline ("hostile suite: VIOLATION: " ^ v))
+        (List.rev vs);
+      exit 1

@@ -231,6 +231,17 @@ let test_rng_deterministic () =
     Alcotest.(check int) "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
   done
 
+let test_rng_int_in_range () =
+  (* Regression: [Int64.to_int] of a 63-bit draw wrapped negative on
+     63-bit OCaml ints, so [Rng.int] returned negatives about half the
+     time. *)
+  let r = Sim.Rng.create ~seed:7L in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int r 256 in
+    if v < 0 || v >= 256 then
+      Alcotest.failf "Rng.int out of range: %d" v
+  done
+
 let test_rng_split_independent () =
   let a = Sim.Rng.create ~seed:42L in
   let b = Sim.Rng.split a in
@@ -343,6 +354,7 @@ let suites =
     ( "sim.support",
       [
         Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng int in range" `Quick test_rng_int_in_range;
         Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
