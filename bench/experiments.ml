@@ -1312,3 +1312,206 @@ let containment () =
   Report.note
     "acceptance: victim within 20%% of the solo baseline (ratio %.3f); attacker quarantined"
     (att_us /. solo_us)
+
+(* ------------------------------------------------------------------ *)
+(* Hot upgrade: guest-visible blackout per op class                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The live-operations claim: a planned driver-VM upgrade is invisible
+   to guests except as latency.  Each op class runs a steady operation
+   stream; mid-run the driver VM is hot-upgraded (replacement boot
+   overlapped with live service, then quiesce / checkpoint / swap /
+   restore / resume).  Reported per class: the no-upgrade worst-case
+   per-op latency, the worst guest-visible stall across the upgrade,
+   and the upgrade's phase breakdown.  Acceptance: every operation
+   completes with zero ENODEV/EIO across the upgrade, and two
+   no-upgrade runs are bit-identical in simulated time (the handoff
+   machinery costs nothing when not triggered). *)
+let upgrade () =
+  Report.heading "Hot upgrade — guest-visible blackout per op class";
+  let module M = Paradice.Machine in
+  let ops = scaled 300 in
+  (* boot time is overlapped with live service, but the workload still
+     has to outlast it for the blackout to land mid-stream *)
+  let config =
+    { Paradice.Config.default with Paradice.Config.driver_reboot_us = 5_000. }
+  in
+  let upgrade_at = 2_000. in
+  let run ~cls ~do_upgrade =
+    let m = M.create ~config () in
+    let (_ : Oskit.Defs.device) = M.attach_null m in
+    let mouse = M.attach_mouse m in
+    let (_ : Devices.Netmap_drv.t) = M.attach_netmap m in
+    let g = M.add_guest m ~name:"g1" () in
+    let eng = M.engine m in
+    let k = g.M.kernel in
+    let lats = ref [] and enodev = ref 0 and eio = ref 0 and other = ref 0 in
+    let completed = ref 0 in
+    let record t0 = function
+      | Ok _ ->
+          incr completed;
+          lats := (Sim.Engine.now eng -. t0) :: !lats
+      | Error e ->
+          if e = Oskit.Errno.ENODEV then incr enodev
+          else if e = Oskit.Errno.EIO then incr eio
+          else incr other
+    in
+    let target = ref ops in
+    (match cls with
+    | `Noop ->
+        Sim.Engine.spawn eng (fun () ->
+            let app = M.spawn_app m k ~name:"noop" in
+            match Oskit.Vfs.openf k app "/dev/null0" with
+            | Error _ -> other := !other + ops
+            | Ok fd ->
+                for _ = 1 to ops do
+                  Sim.Engine.wait 200.;
+                  let t0 = Sim.Engine.now eng in
+                  record t0 (Oskit.Vfs.ioctl k app fd ~cmd:M.null_ioctl ~arg:0L)
+                done)
+    | `Evdev ->
+        (* each move injects a REL + SYN pair; count delivered events *)
+        target := ops * 2;
+        Devices.Evdev.start_mouse mouse ~rate_hz:2_000. ~moves:ops;
+        Sim.Engine.spawn eng (fun () ->
+            let app = M.spawn_app m k ~name:"evreader" in
+            match Oskit.Vfs.openf k app "/dev/input/event0" with
+            | Error _ -> other := !other + !target
+            | Ok fd ->
+                let buf = Oskit.Task.alloc_buf app 512 in
+                let got = ref 0 in
+                let bail = ref false in
+                while !got < !target && not !bail do
+                  let t0 = Sim.Engine.now eng in
+                  match Oskit.Vfs.read k app fd ~buf ~len:512 with
+                  | Ok n ->
+                      got := !got + (n / Devices.Evdev.event_bytes);
+                      lats := (Sim.Engine.now eng -. t0) :: !lats
+                  | Error e ->
+                      record t0 (Error e);
+                      bail := true
+                done;
+                completed := !completed + !got)
+    | `Netmap ->
+        Sim.Engine.spawn eng (fun () ->
+            let app = M.spawn_app m k ~name:"nm-sync" in
+            match Oskit.Vfs.openf k app "/dev/netmap" with
+            | Error _ -> other := !other + ops
+            | Ok fd ->
+                let arg = Oskit.Task.alloc_buf app 16 in
+                (match
+                   Oskit.Vfs.ioctl k app fd ~cmd:Devices.Netmap_drv.nioc_regif
+                     ~arg:(Int64.of_int arg)
+                 with
+                | Ok _ | Error _ -> ());
+                for _ = 1 to ops do
+                  Sim.Engine.wait 200.;
+                  let t0 = Sim.Engine.now eng in
+                  record t0
+                    (Oskit.Vfs.ioctl k app fd ~cmd:Devices.Netmap_drv.nioc_txsync
+                       ~arg:0L)
+                done));
+    let outcome = ref None in
+    if do_upgrade then
+      Sim.Engine.spawn eng (fun () ->
+          Sim.Engine.wait upgrade_at;
+          outcome := Some (M.upgrade_driver_vm m));
+    Sim.Engine.run eng;
+    ( Sim.Engine.now eng,
+      List.rev !lats,
+      (!enodev, !eio, !other),
+      !completed,
+      !target,
+      !outcome )
+  in
+  let max_lat lats = List.fold_left max 0. lats in
+  let classes = [ ("noop ioctl", `Noop); ("evdev read", `Evdev); ("netmap sync", `Netmap) ] in
+  let results =
+    List.map
+      (fun (label, cls) ->
+        let t_a, lats_a, _, _, _, _ = run ~cls ~do_upgrade:false in
+        let t_b, lats_b, _, _, _, _ = run ~cls ~do_upgrade:false in
+        let deterministic = t_a = t_b && lats_a = lats_b in
+        let _, lats_u, (enodev, eio, other), completed, target, outcome =
+          run ~cls ~do_upgrade:true
+        in
+        (label, max_lat lats_a, max_lat lats_u, enodev, eio, other, completed,
+         target, deterministic, outcome))
+      classes
+  in
+  Report.table
+    ~header:
+      [ "op class"; "baseline max (us)"; "upgraded max (us)"; "stall (us)";
+        "completed"; "ENODEV"; "EIO"; "no-upgrade runs" ]
+    (List.map
+       (fun (label, base, worst, enodev, eio, _other, completed, target, det, _) ->
+         [
+           label;
+           Report.f1 base;
+           Report.f1 worst;
+           Report.f1 (worst -. base);
+           Printf.sprintf "%d/%d" completed target;
+           string_of_int enodev;
+           string_of_int eio;
+           (if det then "bit-identical" else "DIVERGED");
+         ])
+       results);
+  (match results with
+  | (_, _, _, _, _, _, _, _, _, Some (M.Upgraded s)) :: _ ->
+      Report.note
+        "upgrade phases (noop run): boot %.1f us (overlapped), blackout %.1f us = quiesce %.1f + checkpoint %.1f + swap %.1f + restore %.1f + resume %.1f"
+        s.M.up_boot_us s.M.up_blackout_us s.M.up_quiesce_us s.M.up_checkpoint_us
+        s.M.up_swap_us s.M.up_restore_us s.M.up_resume_us;
+      Report.note
+        "snapshot %d bytes; %d files restored (%d dropped), %d VMAs, %d parked ops replayed, %d mappings kept / %d dropped, %d grants revoked"
+        s.M.up_checkpoint_bytes s.M.up_files_restored s.M.up_files_dropped
+        s.M.up_vmas_restored s.M.up_parked_ops s.M.up_mappings_kept
+        s.M.up_mappings_dropped s.M.up_grants_revoked
+  | _ -> Report.note "upgrade did not complete as Upgraded — see JSON");
+  Report.note
+    "acceptance: 100%% completion, zero ENODEV/EIO across the upgrade; no-upgrade runs bit-identical";
+  (* machine-readable record for CI *)
+  let oc = open_out "BENCH_upgrade.json" in
+  let row_json (label, base, worst, enodev, eio, other, completed, target, det, outcome) =
+    let phases =
+      match outcome with
+      | Some (M.Upgraded s) ->
+          Printf.sprintf
+            {|, "blackout_us": %.3f, "boot_us": %.3f, "quiesce_us": %.3f, "checkpoint_us": %.3f, "swap_us": %.3f, "restore_us": %.3f, "resume_us": %.3f, "checkpoint_bytes": %d, "parked_ops": %d, "files_restored": %d, "files_dropped": %d|}
+            s.M.up_blackout_us s.M.up_boot_us s.M.up_quiesce_us
+            s.M.up_checkpoint_us s.M.up_swap_us s.M.up_restore_us s.M.up_resume_us
+            s.M.up_checkpoint_bytes s.M.up_parked_ops s.M.up_files_restored
+            s.M.up_files_dropped
+      | _ -> {|, "upgraded": false|}
+    in
+    Printf.sprintf
+      {|    {"class": "%s", "baseline_max_us": %.3f, "upgraded_max_us": %.3f, "stall_us": %.3f, "completed": %d, "target": %d, "enodev": %d, "eio": %d, "other_errors": %d, "deterministic": %b%s}|}
+      label base worst (worst -. base) completed target enodev eio other det
+      phases
+  in
+  Printf.fprintf oc
+    {|{
+  "experiment": "upgrade",
+  "scale": %g,
+  "classes": [
+%s
+  ]
+}
+|}
+    !scale
+    (String.concat ",\n" (List.map row_json results));
+  close_out oc;
+  Report.note "wrote BENCH_upgrade.json";
+  (* hard acceptance gate — CI fails if the handoff was guest-visible *)
+  List.iter
+    (fun (label, _, _, enodev, eio, _, completed, target, det, _) ->
+      if enodev > 0 || eio > 0 then
+        failwith
+          (Printf.sprintf "upgrade: %s saw %d ENODEV / %d EIO" label enodev eio);
+      if not det then
+        failwith
+          (Printf.sprintf "upgrade: %s no-upgrade runs diverged" label);
+      if label <> "netmap" && completed < target then
+        failwith
+          (Printf.sprintf "upgrade: %s completed %d/%d" label completed target))
+    results

@@ -31,6 +31,13 @@ let notify_channel t = t.channels.(0)
 
 let iter_channels t f = Array.iter f t.channels
 
+(** Retire every channel (planned handoff): stragglers inside {!rpc}
+    raise {!Channel.Retired} and replay on the successor pool. *)
+let retire t = Array.iter Channel.retire t.channels
+
+(** Every ring drained on both sides. *)
+let quiescent t = Array.for_all Channel.quiescent t.channels
+
 (* Least-loaded dispatch; strict [<] so ties go to the lowest index
    (a fully idle guest always lands on channel 0). *)
 let pick_channel t =

@@ -21,6 +21,12 @@ val notify_channel : t -> Channel.t
 
 val iter_channels : t -> (Channel.t -> unit) -> unit
 
+(** Retire every channel (planned handoff — see {!Channel.retire}). *)
+val retire : t -> unit
+
+(** Every ring drained on both sides. *)
+val quiescent : t -> bool
+
 (** One request/response exchange over the least-loaded channel's
     ring.  [timeout_us] overrides the configured RPC deadline (see
     {!Channel.rpc}). *)

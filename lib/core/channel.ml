@@ -83,6 +83,12 @@ type t = {
      again: senders fail fast with EIO, blocked receivers are woken so
      they can observe the death instead of hanging forever. *)
   mutable dead : bool;
+  (* A retired channel (planned handoff: upgrade/migration) is dead
+     with different semantics at the sender: the transport is being
+     replaced, not lost, so stragglers raise {!Retired} and the
+     frontend parks them for replay on the successor pool instead of
+     faulting the session. *)
+  mutable retired : bool;
   mutable timeouts : int;
   mutable retries : int;
   tracer : Obs.Trace.t; (* from [Config.tracer]; disabled = no-op *)
@@ -155,6 +161,7 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
     pending_notify = false;
     stale_responses = 0;
     dead = false;
+    retired = false;
     timeouts = 0;
     retries = 0;
     tracer = config.Config.tracer;
@@ -166,6 +173,9 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
 
 let is_dead t = t.dead
 let ring_slots t = t.slots
+
+(** No operation in flight on either side of the ring. *)
+let quiescent t = t.in_flight = 0 && t.in_service = 0
 
 (** Dispatch weight for {!Chan_pool}: outstanding frontend operations,
     with a whole ring's worth of penalty while the backend worker is
@@ -189,6 +199,18 @@ let kill ?(poison = true) t =
       Sim.Mailbox.send t.req_rx ();
       Sim.Mailbox.send t.notify_rx ()
     end
+  end
+
+exception Retired
+
+(** Retire the channel (planned handoff): poison-kill it, but mark the
+    death as {e planned} so a sender still inside {!rpc} raises
+    {!Retired} — "the transport moved, replay me there" — rather than
+    EIO, which would fault the whole session. *)
+let retire t =
+  if not t.dead then begin
+    t.retired <- true;
+    kill t
   end
 
 (* Deterministic fault sites (driven by [Config.injector]).  Keys are
@@ -226,7 +248,9 @@ let leg t ~receiver k =
 
 let marshal t = Sim.Engine.wait t.config.Config.marshal_us
 
-let fail_dead () = Oskit.Errno.fail Oskit.Errno.EIO "channel dead: driver VM down"
+let fail_dead t =
+  if t.retired then raise Retired
+  else Oskit.Errno.fail Oskit.Errno.EIO "channel dead: driver VM down"
 
 (* Tracing helpers.  Every one is a no-op behind a single boolean when
    the sink is disabled; none of them waits, so simulated time is
@@ -331,7 +355,7 @@ let fresh_seq t =
     A channel killed mid-exchange fails with EIO instead: the
     transport itself is gone. *)
 let rpc ?timeout_us t (req_bytes : bytes) : bytes =
-  if t.dead then fail_dead ();
+  if t.dead then fail_dead t;
   t.rpcs <- t.rpcs + 1;
   t.in_flight <- t.in_flight + 1;
   if t.in_flight > t.max_in_flight then t.max_in_flight <- t.in_flight;
@@ -347,7 +371,7 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
       if t.dead then begin
         Sim.Semaphore.release t.slot_sem;
         Obs.Trace.span_end ~status:"error:dead" t.tracer wait_sp;
-        fail_dead ()
+        fail_dead t
       end;
       let slot = Queue.pop t.free_slots in
       Obs.Trace.span_arg wait_sp "slot" (float_of_int slot);
@@ -383,7 +407,7 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
           let rec attempt tries_left =
             let seq = fresh_seq t in
             publish t ~slot ~seq req_bytes;
-            if t.dead then fail_dead ();
+            if t.dead then fail_dead t;
             await tries_left seq
           and await tries_left seq =
             let got =
@@ -391,7 +415,7 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
                 Sim.Mailbox.recv_timeout box ~timeout:deadline
               else Some (Sim.Mailbox.recv box)
             in
-            if t.dead then fail_dead ();
+            if t.dead then fail_dead t;
             match got with
             | Some () ->
                 let wake = Sim.Engine.now t.engine in
@@ -413,7 +437,7 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
                   t.stale_responses <- t.stale_responses + 1;
                   m_incr t "rpc.stale_responses";
                   publish t ~slot ~seq req_bytes;
-                  if t.dead then fail_dead ();
+                  if t.dead then fail_dead t;
                   await tries_left seq
                 end
             | None ->

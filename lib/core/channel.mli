@@ -28,6 +28,19 @@ val kill : ?poison:bool -> t -> unit
 
 val is_dead : t -> bool
 
+exception Retired
+(** Raised out of {!rpc} by a channel taken down by {!retire}: the
+    transport was {e replaced} (planned handoff), not lost — the
+    caller should replay the exchange on the successor pool. *)
+
+(** Retire the channel (planned driver-VM handoff): poison-kill it,
+    but make stragglers inside {!rpc} raise {!Retired} instead of EIO
+    so the session survives.  Idempotent. *)
+val retire : t -> unit
+
+(** No operation in flight on either side of the ring. *)
+val quiescent : t -> bool
+
 (** Frontend: one request/response exchange over a ring slot; blocks
     while all [Config.ring_slots] slots are in flight.  [timeout_us]
     overrides [Config.rpc_timeout_us] (0 = wait forever).  Raises EIO

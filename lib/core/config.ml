@@ -84,6 +84,11 @@ type t = {
                                   link); 0 = never quarantine *)
   driver_reboot_us : float; (* driver-VM kill -> serving again (§7.2's
                                 "rebooted in seconds") *)
+  upgrade_drain_us : float; (* hot upgrade/migration: how long quiesce
+                                waits for in-flight operations to drain
+                                before parking the stragglers for
+                                replay on the successor (bounds the
+                                blackout window) *)
   fault_delay_us : float; (* extra latency when the delay fault fires *)
   injector : Sim.Fault_inject.t option; (* deterministic fault plan *)
   tracer : Obs.Trace.t; (* span tracing sink; the disabled sink is a
@@ -131,6 +136,7 @@ let default =
     cpu_budget_window_us = 10_000.;
     quarantine_threshold = 50;
     driver_reboot_us = 1_000_000.;
+    upgrade_drain_us = 50.;
     fault_delay_us = 50.;
     injector = None;
     tracer = Obs.Trace.disabled;

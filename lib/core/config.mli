@@ -49,6 +49,9 @@ type t = {
   quarantine_threshold : int;
       (** misbehavior score triggering quarantine; 0 = never *)
   driver_reboot_us : float;  (** driver-VM kill -> serving again *)
+  upgrade_drain_us : float;
+      (** hot upgrade/migration: quiesce drain bound before stragglers
+          are parked for replay on the successor *)
   fault_delay_us : float;  (** extra latency when the delay fault fires *)
   injector : Sim.Fault_inject.t option;  (** deterministic fault plan *)
   tracer : Obs.Trace.t;  (** span tracing sink; default {!Obs.Trace.disabled} *)

@@ -72,6 +72,8 @@ let kill ?(poison = true) t =
   end
 
 let link_stats link = (link.ops_served, Chan_pool.stats link.pool)
+let links t = t.links
+let has_link t link = List.memq link t.links
 
 (* Fault-site keys (armed on [Config.injector]). *)
 let site_wedge = "back.wedge"
@@ -527,3 +529,217 @@ let connect t ~guest_vm =
           loop ()))
     channels;
   link
+
+(* ------------------------------------------------------------------ *)
+(* Planned handoff: checkpoint / restore (hot upgrade, migration)      *)
+(* ------------------------------------------------------------------ *)
+
+let grants_of t guest_vm =
+  match Hypervisor.Hyp.grant_table_of t.hyp guest_vm with
+  | Some table -> Hypervisor.Grant_table.snapshot table
+  | None -> []
+
+(** Checkpoint everything the successor driver VM needs about this
+    guest's session: open files (ascending vfd) with their flags and
+    mirrored VMA layout, the outstanding grant groups, and the full
+    containment record — a hostile guest must not launder its
+    misbehavior history through an upgrade. *)
+let checkpoint_link t link : Snapshot.link_snap =
+  let files =
+    Hashtbl.fold (fun vfd fs acc -> (vfd, fs) :: acc) link.files []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    Snapshot.ls_guest_vm_id = Hypervisor.Vm.id link.guest_vm;
+    ls_next_vfd = link.next_vfd;
+    ls_ops_served = link.ops_served;
+    ls_malformed = link.malformed;
+    ls_rejected = link.rejected;
+    ls_grant_faults = link.grant_faults;
+    ls_quota_breaches = link.quota_breaches;
+    ls_score = link.score;
+    ls_quarantined = link.quarantined;
+    ls_files =
+      List.map
+        (fun (vfd, fs) ->
+          {
+            Snapshot.fr_vfd = vfd;
+            fr_path = fs.file.Defs.dev.Defs.dev_path;
+            fr_fasync = fs.file.Defs.fasync_subscribers <> [];
+            fr_nonblock = fs.file.Defs.nonblock;
+            (* [vmas] is newest-first (live prepends); store oldest
+               first so restore rebuilds the same order *)
+            fr_vmas =
+              List.rev_map
+                (fun v -> (v.Defs.vma_start, v.Defs.vma_len, v.Defs.vma_pgoff))
+                fs.vmas;
+          })
+        files;
+    ls_grants = grants_of t link.guest_vm;
+  }
+
+(** Quietly close every backend file the link holds — the departing
+    driver VM's side of a handoff.  Device open counts drop (so the
+    successor can reopen exclusive devices) and SIGIO subscriptions are
+    dropped, but — unlike {!quarantine} — grants and hypervisor
+    mappings are left intact: they are guest-keyed and the successor
+    re-validates them in place. *)
+let release_link_files t link =
+  if Hashtbl.length link.files > 0 then begin
+    let reaper = Kernel.spawn_task t.kernel ~name:"cvd-reaper" in
+    Hashtbl.iter
+      (fun _ fs ->
+        if not fs.file.Defs.closed then begin
+          (try fs.file.Defs.dev.Defs.ops.Defs.fop_release reaper fs.file
+           with _ -> () (* a raising driver must not block the handoff *));
+          fs.file.Defs.closed <- true;
+          fs.file.Defs.dev.Defs.open_count <-
+            fs.file.Defs.dev.Defs.open_count - 1;
+          fs.file.Defs.fasync_subscribers <- []
+        end)
+      link.files;
+    Hashtbl.reset link.files
+  end
+
+let detach_link t link = t.links <- List.filter (fun l -> l != link) t.links
+
+type restore_stats = {
+  rs_files : int; (* files re-opened at their snapshotted vfd *)
+  rs_dropped : int; (* snapshot entries refused by re-validation *)
+  rs_vmas : int; (* VMA mirrors rebuilt *)
+  rs_fasync : int; (* SIGIO subscriptions re-armed *)
+}
+
+let fault_check t key =
+  match t.config.Config.injector with
+  | None -> ()
+  | Some inj -> Sim.Fault_inject.check inj ~key
+
+(* Restore validation runs the {e same} sanitization pass as a live
+   request: a snapshotted path or VMA range the backend would refuse
+   from the wire is refused from the checkpoint too. *)
+let sanitize t decoded =
+  Proto.validate ~max_transfer_bytes:t.config.Config.max_transfer_bytes
+    ~poll_timeout_cap_us:t.config.Config.poll_timeout_cap_us
+    ~grant_capacity:Hypervisor.Grant_table.capacity decoded
+
+(** Restore a checkpointed session onto {e this} (successor) backend:
+    fresh channel pool and workers via {!connect}, the containment
+    record carried over, then every snapshotted file re-validated —
+    through the same checks a live [Ropen] faces — and re-opened at
+    its preserved vfd.  VMA mirrors are rebuilt without re-running
+    [fop_mmap]: the hypervisor's cross-VM mappings are keyed by the
+    guest and survived the swap in place.  Entries that fail
+    re-validation are dropped (counted), never trusted.
+
+    [fail_site] is a per-file abort-style fault site
+    ({!Sim.Fault_inject.check}); when it fires the partial restore is
+    torn down — files quietly closed, channels killed, link detached —
+    and {!Sim.Fault_inject.Injected} re-raised for the caller's
+    rollback.  A quarantined snapshot restores its record only: the
+    guest stays cut off, with no files and no service. *)
+let restore_link t ~(snap : Snapshot.link_snap) ~guest_vm ?fail_site () =
+  let link = connect t ~guest_vm in
+  link.next_vfd <- max link.next_vfd snap.Snapshot.ls_next_vfd;
+  link.ops_served <- snap.Snapshot.ls_ops_served;
+  link.malformed <- snap.Snapshot.ls_malformed;
+  link.rejected <- snap.Snapshot.ls_rejected;
+  link.grant_faults <- snap.Snapshot.ls_grant_faults;
+  link.quota_breaches <- snap.Snapshot.ls_quota_breaches;
+  link.score <- snap.Snapshot.ls_score;
+  link.quarantined <- snap.Snapshot.ls_quarantined;
+  (* the grant table survived the swap, and so did its breach counter:
+     re-baseline so old breaches are not double-counted *)
+  (match Hypervisor.Hyp.grant_table_of t.hyp guest_vm with
+  | Some table ->
+      link.grant_quota_seen <- Hypervisor.Grant_table.quota_breaches table
+  | None -> ());
+  let stats = ref { rs_files = 0; rs_dropped = 0; rs_vmas = 0; rs_fasync = 0 } in
+  if not link.quarantined then begin
+    let restorer = Kernel.spawn_task t.kernel ~name:"cvd-restore" in
+    Task.on_sigio restorer (fun () ->
+        if Policy.input_target t.policy (Hypervisor.Vm.id guest_vm) then
+          Channel.notify (Chan_pool.notify_channel link.pool));
+    let restore_file (fr : Snapshot.file_rec) =
+      let vfd = fr.Snapshot.fr_vfd and path = fr.Snapshot.fr_path in
+      let admissible =
+        (match sanitize t (Proto.Ropen { path }, 0, 0) with
+        | Ok _ -> true
+        | Error _ -> false)
+        && vfd >= 1
+        && vfd <= Proto.max_vfd
+        && (not (Hashtbl.mem link.files vfd))
+        && Hashtbl.length link.files < t.config.Config.max_open_vfds
+        && List.mem path t.exports
+      in
+      if not admissible then false
+      else
+        match Devfs.lookup (Kernel.devfs t.kernel) path with
+        | None -> false
+        | Some dev ->
+            if dev.Defs.exclusive && dev.Defs.open_count > 0 then false
+            else begin
+              let file_id = (Hypervisor.Vm.id guest_vm * 100_000) + vfd in
+              let file =
+                {
+                  Defs.file_id;
+                  dev;
+                  opener = restorer;
+                  nonblock = fr.Snapshot.fr_nonblock;
+                  fasync_subscribers = [];
+                  closed = false;
+                }
+              in
+              dev.Defs.ops.Defs.fop_open restorer file;
+              dev.Defs.open_count <- dev.Defs.open_count + 1;
+              let vmas =
+                List.filter_map
+                  (fun (gva, len, pgoff) ->
+                    match
+                      sanitize t (Proto.Rmmap { vfd; gva; len; pgoff }, 0, 0)
+                    with
+                    | Ok _ ->
+                        Some
+                          {
+                            Defs.vma_start = gva;
+                            vma_len = len;
+                            vma_file = file;
+                            vma_pgoff = pgoff;
+                          }
+                    | Error _ -> None)
+                  fr.Snapshot.fr_vmas
+              in
+              stats :=
+                { !stats with rs_vmas = !stats.rs_vmas + List.length vmas };
+              (* live mirror is newest-first *)
+              Hashtbl.replace link.files vfd { file; vmas = List.rev vmas };
+              if fr.Snapshot.fr_fasync then begin
+                (try dev.Defs.ops.Defs.fop_fasync restorer file ~on:true
+                 with _ -> ());
+                file.Defs.fasync_subscribers <- [ restorer ];
+                stats := { !stats with rs_fasync = !stats.rs_fasync + 1 }
+              end;
+              true
+            end
+    in
+    try
+      List.iter
+        (fun fr ->
+          (match fail_site with Some key -> fault_check t key | None -> ());
+          if restore_file fr then
+            stats := { !stats with rs_files = !stats.rs_files + 1 }
+          else begin
+            stats := { !stats with rs_dropped = !stats.rs_dropped + 1 };
+            note_sanitize_rejection t
+          end)
+        snap.Snapshot.ls_files
+    with Sim.Fault_inject.Injected _ as e ->
+      (* crash mid-restore: unwind the partial session so nothing of
+         it survives on this side — the caller decides where the whole
+         session lands *)
+      release_link_files t link;
+      Chan_pool.iter_channels link.pool Channel.kill;
+      detach_link t link;
+      raise e
+  end;
+  (link, !stats)

@@ -64,6 +64,52 @@ val site_crash : string
     serving. *)
 val connect : t -> guest_vm:Hypervisor.Vm.t -> guest_link
 
+(** {1 Planned handoff (hot upgrade / session migration)} *)
+
+(** Live links, most recently connected first. *)
+val links : t -> guest_link list
+
+(** Is this link one of ours?  (Which driver VM a migrating session
+    currently lives on.) *)
+val has_link : t -> guest_link -> bool
+
+(** Checkpoint a guest's session: open files (ascending vfd) with
+    flags and VMA layout, outstanding grant groups, and the full
+    containment record — quarantine and quotas survive the handoff. *)
+val checkpoint_link : t -> guest_link -> Snapshot.link_snap
+
+(** Quietly close every backend file of the link (departing side of a
+    handoff): open counts drop and SIGIO subscriptions are dropped,
+    but grants and hypervisor mappings are left in place for the
+    successor to re-validate. *)
+val release_link_files : t -> guest_link -> unit
+
+(** Remove the link from this backend's service list. *)
+val detach_link : t -> guest_link -> unit
+
+type restore_stats = {
+  rs_files : int;  (** files re-opened at their snapshotted vfd *)
+  rs_dropped : int;  (** snapshot entries refused by re-validation *)
+  rs_vmas : int;  (** VMA mirrors rebuilt *)
+  rs_fasync : int;  (** SIGIO subscriptions re-armed *)
+}
+
+(** Restore a checkpointed session onto this (successor) backend:
+    fresh pool/workers, containment record carried over, every file
+    re-validated through the same sanitization as a live [Ropen] and
+    re-opened at its preserved vfd; VMA mirrors rebuilt without
+    re-running [fop_mmap] (hypervisor mappings are guest-keyed and
+    survive in place).  [fail_site] is a per-file abort-style fault
+    site: on firing the partial restore is torn down and
+    {!Sim.Fault_inject.Injected} re-raised. *)
+val restore_link :
+  t ->
+  snap:Snapshot.link_snap ->
+  guest_vm:Hypervisor.Vm.t ->
+  ?fail_site:string ->
+  unit ->
+  guest_link * restore_stats
+
 (** {1 Hostile-guest containment (§4, §7.1)} *)
 
 (** Serve one raw descriptor through decode → sanitize → dispatch.

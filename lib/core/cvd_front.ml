@@ -32,13 +32,24 @@ type t = {
   entries : (string, Analyzer.Extract.t) Hashtbl.t;
   vfds : (int, int) Hashtbl.t; (* guest file_id -> backend vfd *)
   (* guest files whose backend session died under them: their vfds are
-     meaningless, operations fail ENODEV until the file is reopened *)
-  stale_vfds : (int, unit) Hashtbl.t;
+     meaningless, operations fail ENODEV until the file is reopened.
+     The value records why the file went stale, so callers can tell a
+     retryable staleness (driver VM rebooted: reopen succeeds) from a
+     hard one (session still down). *)
+  stale_vfds : (int, string) Hashtbl.t;
   mutable fasync_files : Defs.file list; (* forward notifications here *)
   mutable session : session;
+  (* Planned-handoff gate (hot upgrade / migration): while [paused],
+     forwarded operations park on [resume_wq] instead of touching the
+     transport; {!resume} wakes them onto the successor pool.  Unlike
+     a fault, pausing is invisible to the caller — only added latency. *)
+  mutable paused : bool;
+  resume_wq : Wait_queue.t;
+  mutable ops_parked : int; (* stragglers replayed across a handoff *)
   mutable ops_forwarded : int;
   mutable jit_evaluations : int;
   mutable hb_stop : bool; (* watchdog shutdown flag *)
+  mutable hb_suspended : bool; (* quiesce: pings would time out, skip them *)
   mutable fstats : fault_stats;
 }
 
@@ -73,6 +84,10 @@ let fault_session t ~reason =
   | Faulted -> ()
   | Healthy ->
       t.session <- Faulted;
+      (* a fault during a planned handoff aborts the pause: parked
+         operations must wake and fail, not hang forever *)
+      t.paused <- false;
+      Wait_queue.wake_all t.resume_wq;
       (* close every span the dead session left open — no trace state
          may leak into (or misattribute time across) a reattach *)
       ignore
@@ -80,7 +95,9 @@ let fault_session t ~reason =
            ~reason:(String.map (fun c -> if c = ' ' then '_' else c) reason));
       let began = Sim.Engine.now (Kernel.engine t.kernel) in
       (* all open virtual files lose their backend descriptors *)
-      Hashtbl.iter (fun file_id _ -> Hashtbl.replace t.stale_vfds file_id ()) t.vfds;
+      Hashtbl.iter
+        (fun file_id _ -> Hashtbl.replace t.stale_vfds file_id reason)
+        t.vfds;
       Hashtbl.reset t.vfds;
       t.fasync_files <- [];
       let revoked = Hypervisor.Grant_table.revoke_all t.grant_table in
@@ -107,6 +124,51 @@ let reattach t ~pool =
   t.session <- Healthy;
   spawn_notify_dispatcher t pool
 
+(* ---- planned handoff: quiesce / resume (hot upgrade, migration) ---- *)
+
+(** Stop issuing onto the transport: operations arriving from here on
+    park on [resume_wq].  In-flight operations are unaffected — the
+    caller (Machine) drains or retires them separately. *)
+let quiesce t = t.paused <- true
+
+let is_paused t = t.paused
+
+(** Operations replayed across a planned handoff so far. *)
+let ops_parked t = t.ops_parked
+
+(** Wake the parked operations onto the (optionally new) pool.  [pool]
+    present installs the successor transport and spawns its
+    notification dispatcher; absent resumes on the {e current} pool —
+    the soft-rollback path of an aborted handoff, where the old
+    transport never died and already has a dispatcher. *)
+let resume ?pool t =
+  (match pool with
+  | Some p ->
+      t.pool <- p;
+      spawn_notify_dispatcher t p
+  | None -> ());
+  t.paused <- false;
+  Wait_queue.wake_all t.resume_wq
+
+(* Forward through the pause gate.  A {!Channel.Retired} straggler —
+   the transport was swapped while the operation was in flight — parks
+   and replays on the successor: at-least-once across a handoff, same
+   contract as RPC retries.  If the session faults instead of
+   resuming, a parked operation fails EIO (the op was possibly
+   executed: EIO, not ENODEV, exactly as a mid-operation transport
+   death). *)
+let rec pool_rpc t ~parked req_bytes =
+  while t.paused do
+    Wait_queue.sleep t.resume_wq
+  done;
+  if t.session = Faulted then
+    if parked then Errno.fail Errno.EIO "driver VM died under a parked operation"
+    else Errno.fail Errno.ENODEV "driver VM session faulted";
+  try Chan_pool.rpc t.pool req_bytes
+  with Channel.Retired ->
+    t.ops_parked <- t.ops_parked + 1;
+    pool_rpc t ~parked:true req_bytes
+
 (* The watchdog: ping the backend with a no-op under a deadline; after
    [heartbeat_miss_limit] consecutive misses (or a transport EIO,
    which is definitive) declare the driver VM dead.  Idles while the
@@ -123,9 +185,17 @@ let spawn_watchdog t =
             if not t.hb_stop then
               match t.session with
               | Faulted -> loop 0
+              | Healthy when t.hb_suspended ->
+                  (* planned handoff in progress: the backend is
+                     legitimately not answering; a ping now would count
+                     a miss against a healthy driver VM *)
+                  loop 0
               | Healthy -> (
                   match Chan_pool.rpc ~timeout_us:interval t.pool heartbeat_request with
                   | (_ : bytes) -> loop 0
+                  | exception Channel.Retired ->
+                      (* transport swapped under the ping: not a fault *)
+                      loop 0
                   | exception Errno.Unix_error (Errno.EIO, _) ->
                       fault_session t ~reason:"heartbeat: transport dead";
                       loop 0
@@ -147,6 +217,13 @@ let spawn_watchdog t =
 
 let stop_watchdog t = t.hb_stop <- true
 
+(** Suspend heartbeat pings for a planned quiesce: however long the
+    handoff takes, no misses accrue and the watchdog cannot declare a
+    healthy driver VM dead mid-upgrade. *)
+let suspend_watchdog t = t.hb_suspended <- true
+
+let resume_watchdog t = t.hb_suspended <- false
+
 let create ~kernel ~hyp ~guest_vm ~pool ~config =
   let grant_table = Hypervisor.Hyp.setup_grant_table hyp guest_vm in
   Hypervisor.Grant_table.set_quota grant_table config.Config.max_grant_entries;
@@ -163,9 +240,13 @@ let create ~kernel ~hyp ~guest_vm ~pool ~config =
       stale_vfds = Hashtbl.create 16;
       fasync_files = [];
       session = Healthy;
+      paused = false;
+      resume_wq = Wait_queue.create (Kernel.engine kernel);
+      ops_parked = 0;
       ops_forwarded = 0;
       jit_evaluations = 0;
       hb_stop = false;
+      hb_suspended = false;
       fstats =
         {
           sessions_faulted = 0;
@@ -248,7 +329,7 @@ let forward t (task : Defs.task) ~ops req : Proto.response =
         let req_bytes = Proto.encode_request ~grant_ref ~pid:task.Defs.pid req in
         Proto.set_trace req_bytes trace;
         let resp_bytes =
-          try Chan_pool.rpc t.pool req_bytes with
+          try pool_rpc t ~parked:false req_bytes with
           | Chan_pool.Busy ->
               Errno.fail Errno.EBUSY "per-guest operation cap reached"
           | Errno.Unix_error (Errno.EIO, _) as e ->
@@ -271,12 +352,31 @@ let int_result = function
   | Proto.Rpoll_reply _ -> Errno.fail Errno.EIO "unexpected poll reply"
 
 let vfd_of t (file : Defs.file) =
-  if Hashtbl.mem t.stale_vfds file.Defs.file_id then
-    Errno.fail Errno.ENODEV "backend session died under this file"
-  else
-    match Hashtbl.find_opt t.vfds file.Defs.file_id with
-    | Some vfd -> vfd
-    | None -> Errno.fail Errno.EINVAL "virtual file has no backend descriptor"
+  match Hashtbl.find_opt t.stale_vfds file.Defs.file_id with
+  | Some reason ->
+      Errno.fail Errno.ENODEV
+        ("backend session died under this file (" ^ reason ^ ")")
+  | None -> (
+      match Hashtbl.find_opt t.vfds file.Defs.file_id with
+      | Some vfd -> vfd
+      | None -> Errno.fail Errno.EINVAL "virtual file has no backend descriptor")
+
+(** Where a guest file stands with respect to its backend session. *)
+type file_status =
+  | Live  (** has a working backend descriptor *)
+  | Stale_retryable of string
+      (** the session under it died but has since been re-established:
+          operations fail ENODEV, but a fresh [open] succeeds — the
+          "close and reopen me" signal *)
+  | Stale_dead of string
+      (** stale and the session is still down: reopening fails too *)
+  | Unknown  (** never opened here (or already released) *)
+
+let file_status t (file : Defs.file) =
+  match Hashtbl.find_opt t.stale_vfds file.Defs.file_id with
+  | Some reason ->
+      if t.session = Healthy then Stale_retryable reason else Stale_dead reason
+  | None -> if Hashtbl.mem t.vfds file.Defs.file_id then Live else Unknown
 
 (* ---- ioctl memory-operation identification (§4.1) ---- *)
 

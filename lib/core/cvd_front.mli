@@ -45,8 +45,42 @@ val fault_session : t -> reason:string -> unit
     immediately. *)
 val reattach : t -> pool:Chan_pool.t -> unit
 
+(** {1 Planned handoff (hot upgrade / session migration)} *)
+
+(** Stop issuing onto the transport: new operations park until
+    {!resume}.  Invisible to callers except as latency. *)
+val quiesce : t -> unit
+
+val is_paused : t -> bool
+
+(** Wake parked operations.  [pool] installs the successor transport
+    (and its notification dispatcher); omitting it resumes on the
+    current pool — the soft-rollback of an aborted handoff. *)
+val resume : ?pool:Chan_pool.t -> t -> unit
+
+(** Operations that hit a retiring channel and were replayed on the
+    successor pool. *)
+val ops_parked : t -> int
+
+(** Where a guest file stands with respect to its backend session. *)
+type file_status =
+  | Live
+  | Stale_retryable of string
+      (** the session died under it but is re-established: operations
+          fail ENODEV, a fresh [open] succeeds — close and reopen *)
+  | Stale_dead of string  (** stale and the session is still down *)
+  | Unknown
+
+val file_status : t -> Oskit.Defs.file -> file_status
+
 (** Stop the heartbeat watchdog (lets [Engine.run] drain). *)
 val stop_watchdog : t -> unit
+
+(** Suspend heartbeat pings for a planned quiesce: no misses accrue,
+    however long the handoff takes. *)
+val suspend_watchdog : t -> unit
+
+val resume_watchdog : t -> unit
 
 (** Create the virtual device file for an exported device.  [entries]
     is the analyzer's table for ioctl-heavy classes; [kinds] must all

@@ -44,6 +44,14 @@ type gpu_attachment = {
   mutable isolation : Hypervisor.Region.t option;
 }
 
+(* A second live driver VM serving the same exports (session-migration
+   target). *)
+type replica = {
+  rep_vm : Hypervisor.Vm.t;
+  rep_kernel : Kernel.t;
+  rep_backend : Cvd_back.t;
+}
+
 type t = {
   mode : mode;
   config : Config.t;
@@ -62,6 +70,7 @@ type t = {
   policy : Policy.t;
   mutable exports : export_record list;
   mutable guests : guest list;
+  mutable replicas : replica list;
   mutable gpu : gpu_attachment option;
   mutable mouse : Devices.Evdev.t option;
   mutable keyboard : Devices.Evdev.t option;
@@ -121,6 +130,7 @@ let create ?(mode = Paradice) ?(config = Config.default) ?(driver_mem_mib = 256)
       policy;
       exports = [];
       guests = [];
+      replicas = [];
       gpu = None;
       mouse = None;
       keyboard = None;
@@ -257,6 +267,458 @@ let reboot_driver_vm t =
       Cvd_front.fault_session g.frontend ~reason:"driver VM rebooted";
       Cvd_front.reattach g.frontend ~pool:link.Cvd_back.pool)
     t.guests
+
+(* ------------------------------------------------------------------ *)
+(* Live driver-VM operations: hot upgrade and session migration        *)
+(* ------------------------------------------------------------------ *)
+
+let site_upgrade_crash_checkpoint = "upgrade.crash_checkpoint"
+let site_upgrade_crash_restore = "upgrade.crash_restore"
+let site_migrate_crash_checkpoint = "migrate.crash_checkpoint"
+let site_migrate_crash_transfer = "migrate.crash_transfer"
+let site_migrate_crash_restore = "migrate.crash_restore"
+
+let fault_check t key =
+  match t.config.Config.injector with
+  | None -> ()
+  | Some inj -> Sim.Fault_inject.check inj ~key
+
+(* Boot a fresh driver VM serving the same exports.  Unlike the crash
+   reboot, open counts are NOT reset: the incumbent's opens are still
+   live, and the handoff closes them one side at a time. *)
+let boot_driver ~name t =
+  if t.config.Config.driver_reboot_us > 0. then
+    Sim.Engine.wait t.config.Config.driver_reboot_us;
+  let vm =
+    Hypervisor.Hyp.create_vm t.hyp ~name ~kind:Hypervisor.Vm.Driver
+      ~mem_bytes:(t.driver_mem_mib * mib)
+  in
+  let kernel = Kernel.create ~engine:t.engine ~vm ~flavor:t.driver_flavor () in
+  let backend = Cvd_back.create ~kernel ~hyp:t.hyp ~config:t.config ~policy:t.policy in
+  (* the replacement probes the same hardware: the same device records
+     appear in its devfs *)
+  let cur_devfs = Kernel.devfs t.driver_kernel in
+  List.iter
+    (fun e ->
+      (match Devfs.lookup cur_devfs e.path with
+      | Some dev -> Devfs.register (Kernel.devfs kernel) dev
+      | None -> ());
+      Cvd_back.export backend e.path)
+    (List.rev t.exports);
+  (vm, kernel, backend)
+
+(* Drain the link's rings: wait (bounded by [Config.upgrade_drain_us])
+   for in-flight descriptors to complete; stragglers are parked by
+   channel retirement and replayed on the successor pool. *)
+let drain_links t links =
+  let now () = Sim.Engine.now t.engine in
+  let deadline = now () +. t.config.Config.upgrade_drain_us in
+  let busy () =
+    List.exists (fun link -> not (Chan_pool.quiescent link.Cvd_back.pool)) links
+  in
+  while busy () && now () < deadline do
+    Sim.Engine.wait 1.0
+  done
+
+(* Post-restore hypervisor reconciliation: prove every surviving
+   cross-VM mapping and grant group against the snapshot, dropping
+   anything the successor cannot re-derive.  Charged like the crash
+   teardown: one hypercall per examined mapping plus the sweep. *)
+let reconcile_hyp t ~guest_vm ~(snap : Snapshot.link_snap) =
+  let kept, dropped = Hypervisor.Hyp.revalidate_vm_mappings t.hyp ~target:guest_vm in
+  let revoked =
+    match Hypervisor.Hyp.grant_table_of t.hyp guest_vm with
+    | Some table -> Hypervisor.Grant_table.verify_snapshot table snap.Snapshot.ls_grants
+    | None -> 0
+  in
+  Sim.Engine.wait
+    (float_of_int (1 + kept + dropped + revoked) *. t.config.Config.hypercall_us);
+  (kept, dropped, revoked)
+
+type upgrade_stats = {
+  up_generation : int;
+  up_boot_us : float;  (* overlapped with live service, outside the blackout *)
+  up_blackout_us : float;
+  up_quiesce_us : float;
+  up_checkpoint_us : float;
+  up_swap_us : float;
+  up_restore_us : float;
+  up_resume_us : float;
+  up_checkpoint_bytes : int;
+  up_parked_ops : int;
+  up_files_restored : int;
+  up_files_dropped : int;
+  up_vmas_restored : int;
+  up_fasync_rearmed : int;
+  up_mappings_kept : int;
+  up_mappings_dropped : int;
+  up_grants_revoked : int;
+}
+
+type upgrade_outcome =
+  | Upgraded of upgrade_stats
+  | Upgrade_degraded_reboot
+      (* the incumbent was (or died while the replacement booted) dead:
+         fell back to crash recovery *)
+  | Upgrade_aborted of string
+      (* crash before the point of no return: replacement discarded,
+         incumbent kept serving *)
+  | Upgrade_failed_dead of string
+      (* crash after the incumbent was gone: guests fault as on a
+         driver-VM crash; [reboot_driver_vm] recovers *)
+
+let upgrade_driver_vm t =
+  if Cvd_back.is_killed t.backend then begin
+    reboot_driver_vm t;
+    Upgrade_degraded_reboot
+  end
+  else begin
+    let tracer = t.config.Config.tracer in
+    let now () = Sim.Engine.now t.engine in
+    let trace = Obs.Trace.mint_id tracer in
+    (* overlapped boot: the successor boots while the incumbent keeps
+       serving — none of this time is guest-visible *)
+    let boot_began = now () in
+    let boot_sp =
+      Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Machine ~cat:"phase"
+        ~name:"upgrade:boot" ()
+    in
+    let generation = t.driver_generation + 1 in
+    let new_vm, new_kernel, new_backend =
+      boot_driver ~name:(Printf.sprintf "driver-vm-%d" generation) t
+    in
+    Obs.Trace.span_end tracer boot_sp;
+    let boot_us = now () -. boot_began in
+    if Cvd_back.is_killed t.backend then begin
+      (* the incumbent died under us: this is a crash now, not an
+         upgrade — discard the replacement and recover *)
+      Hypervisor.Hyp.kill_vm t.hyp new_vm;
+      Cvd_back.kill new_backend;
+      reboot_driver_vm t;
+      Upgrade_degraded_reboot
+    end
+    else begin
+      (* only sessions living on the incumbent move; guests migrated to
+         a replica are untouched *)
+      let guests =
+        List.filter (fun g -> Cvd_back.has_link t.backend g.link) (List.rev t.guests)
+      in
+      let parked_before =
+        List.fold_left (fun acc g -> acc + Cvd_front.ops_parked g.frontend) 0 guests
+      in
+      let blackout_began = now () in
+      let op_sp =
+        Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Machine ~cat:"op"
+          ~name:"upgrade" ()
+      in
+      let stage name f =
+        let sp =
+          Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Machine ~cat:"stage"
+            ~name ()
+        in
+        match f () with
+        | v ->
+            Obs.Trace.span_end tracer sp;
+            v
+        | exception e ->
+            Obs.Trace.span_end ~status:"error" tracer sp;
+            raise e
+      in
+      (* -- quiesce: frontends stop issuing, rings drain -- *)
+      let quiesce_began = now () in
+      stage "upgrade:quiesce" (fun () ->
+          List.iter
+            (fun g ->
+              Cvd_front.suspend_watchdog g.frontend;
+              Cvd_front.quiesce g.frontend)
+            guests;
+          drain_links t (List.map (fun g -> g.link) guests));
+      let quiesce_us = now () -. quiesce_began in
+      (* -- checkpoint: encode every session through the wire format -- *)
+      let checkpoint_began = now () in
+      match
+        stage "upgrade:checkpoint" (fun () ->
+            List.map
+              (fun g ->
+                fault_check t site_upgrade_crash_checkpoint;
+                let blob =
+                  Snapshot.encode (Cvd_back.checkpoint_link t.backend g.link)
+                in
+                Sim.Engine.wait t.config.Config.marshal_us;
+                (g, blob))
+              guests)
+      with
+      | exception Sim.Fault_inject.Injected key ->
+          (* before the point of no return: the incumbent never stopped
+             being correct — discard the replacement and resume on it *)
+          Hypervisor.Hyp.kill_vm t.hyp new_vm;
+          Cvd_back.kill new_backend;
+          List.iter
+            (fun g ->
+              Cvd_front.resume g.frontend;
+              Cvd_front.resume_watchdog g.frontend)
+            guests;
+          Obs.Trace.span_end ~status:"error:aborted" tracer op_sp;
+          Upgrade_aborted key
+      | blobs -> (
+          let checkpoint_us = now () -. checkpoint_began in
+          let checkpoint_bytes =
+            List.fold_left (fun a (_, b) -> a + String.length b) 0 blobs
+          in
+          (* -- swap: point of no return.  Retire (not crash) the old
+             transport, close the incumbent's opens, kill it, install
+             the successor.  Deliberately not [kill_driver_vm]: a
+             planned swap is not a crash and must not stamp
+             [last_killed_at]. -- *)
+          let swap_began = now () in
+          stage "upgrade:swap" (fun () ->
+              List.iter
+                (fun (g, _) ->
+                  Chan_pool.retire g.link.Cvd_back.pool;
+                  Cvd_back.release_link_files t.backend g.link)
+                blobs;
+              Hypervisor.Hyp.kill_vm t.hyp t.driver_vm;
+              Cvd_back.kill ~poison:false t.backend;
+              t.driver_vm <- new_vm;
+              t.driver_kernel <- new_kernel;
+              t.backend <- new_backend;
+              t.driver_generation <- generation;
+              (* the kill_vm hypercall *)
+              Sim.Engine.wait t.config.Config.hypercall_us);
+          let swap_us = now () -. swap_began in
+          (* -- restore: decode, re-validate, re-open on the successor -- *)
+          let restore_began = now () in
+          match
+            stage "upgrade:restore" (fun () ->
+                List.map
+                  (fun (g, blob) ->
+                    let snap = Snapshot.decode blob in
+                    Sim.Engine.wait t.config.Config.marshal_us;
+                    let link, rstats =
+                      Cvd_back.restore_link new_backend ~snap ~guest_vm:g.vm
+                        ~fail_site:site_upgrade_crash_restore ()
+                    in
+                    g.link <- link;
+                    let kept, dropped, revoked =
+                      reconcile_hyp t ~guest_vm:g.vm ~snap
+                    in
+                    (rstats, kept, dropped, revoked))
+                  blobs)
+          with
+          | exception Sim.Fault_inject.Injected key ->
+              (* after the point of no return: the successor died with
+                 the incumbent already gone.  Degrade to crash
+                 semantics: guests fault, files stale, reboot
+                 recovers.  Spans must close before [fault_session]'s
+                 [abort_open] sweep. *)
+              Obs.Trace.span_end ~status:"error:failed" tracer op_sp;
+              kill_driver_vm t;
+              List.iter
+                (fun g ->
+                  Cvd_front.fault_session g.frontend
+                    ~reason:("upgrade failed: " ^ key);
+                  Cvd_front.resume_watchdog g.frontend)
+                guests;
+              Upgrade_failed_dead key
+          | per_guest ->
+              let restore_us = now () -. restore_began in
+              (* -- resume: wake parked operations onto the successor -- *)
+              let resume_began = now () in
+              stage "upgrade:resume" (fun () ->
+                  List.iter
+                    (fun g ->
+                      Cvd_front.resume ~pool:g.link.Cvd_back.pool g.frontend;
+                      Cvd_front.resume_watchdog g.frontend)
+                    guests);
+              Obs.Trace.span_end tracer op_sp;
+              let resume_us = now () -. resume_began in
+              let parked_after =
+                List.fold_left
+                  (fun acc g -> acc + Cvd_front.ops_parked g.frontend)
+                  0 guests
+              in
+              let sum f = List.fold_left (fun a x -> a + f x) 0 per_guest in
+              Upgraded
+                {
+                  up_generation = generation;
+                  up_boot_us = boot_us;
+                  up_blackout_us = now () -. blackout_began;
+                  up_quiesce_us = quiesce_us;
+                  up_checkpoint_us = checkpoint_us;
+                  up_swap_us = swap_us;
+                  up_restore_us = restore_us;
+                  up_resume_us = resume_us;
+                  up_checkpoint_bytes = checkpoint_bytes;
+                  up_parked_ops = parked_after - parked_before;
+                  up_files_restored =
+                    sum (fun (r, _, _, _) -> r.Cvd_back.rs_files);
+                  up_files_dropped =
+                    sum (fun (r, _, _, _) -> r.Cvd_back.rs_dropped);
+                  up_vmas_restored = sum (fun (r, _, _, _) -> r.Cvd_back.rs_vmas);
+                  up_fasync_rearmed =
+                    sum (fun (r, _, _, _) -> r.Cvd_back.rs_fasync);
+                  up_mappings_kept = sum (fun (_, k, _, _) -> k);
+                  up_mappings_dropped = sum (fun (_, _, d, _) -> d);
+                  up_grants_revoked = sum (fun (_, _, _, r) -> r);
+                })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Session migration between live driver VMs                           *)
+(* ------------------------------------------------------------------ *)
+
+let replicas t = List.rev t.replicas
+
+(** Boot a second live driver VM serving the same exports — a
+    migration target.  Process context (boot takes
+    [Config.driver_reboot_us]). *)
+let spawn_driver_replica ?name t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "driver-vm-replica-%d" (List.length t.replicas + 1)
+  in
+  let rep_vm, rep_kernel, rep_backend = boot_driver ~name t in
+  let rep = { rep_vm; rep_kernel; rep_backend } in
+  t.replicas <- rep :: t.replicas;
+  rep
+
+(* Which live backend currently serves this link. *)
+let backend_of_link t link =
+  let all = t.backend :: List.map (fun r -> r.rep_backend) t.replicas in
+  List.find_opt
+    (fun b -> (not (Cvd_back.is_killed b)) && Cvd_back.has_link b link)
+    all
+
+type migrate_stats = {
+  mg_blackout_us : float;
+  mg_checkpoint_bytes : int;
+  mg_files_restored : int;
+  mg_files_dropped : int;
+  mg_vmas_restored : int;
+  mg_fasync_rearmed : int;
+  mg_mappings_kept : int;
+  mg_mappings_dropped : int;
+  mg_grants_revoked : int;
+}
+
+type migrate_outcome =
+  | Migrated of migrate_stats
+  | Migrate_aborted of string
+      (* crash before cutover: session untouched on the source *)
+  | Migrate_failed_back of string * migrate_stats
+      (* destination crashed mid-restore: the same snapshot was
+         restored back onto the source — the session lands whole on
+         exactly one side *)
+
+let migrate_guest t g ~dst =
+  let src =
+    match backend_of_link t g.link with
+    | Some b -> b
+    | None -> invalid_arg "Machine.migrate_guest: guest has no live link"
+  in
+  if src == dst then invalid_arg "Machine.migrate_guest: session already there";
+  if Cvd_back.is_killed dst then
+    invalid_arg "Machine.migrate_guest: destination driver VM is dead";
+  let tracer = t.config.Config.tracer in
+  let now () = Sim.Engine.now t.engine in
+  let trace = Obs.Trace.mint_id tracer in
+  let blackout_began = now () in
+  let op_sp =
+    Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Machine ~cat:"op"
+      ~name:"migrate" ()
+  in
+  let stage name f =
+    let sp =
+      Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Machine ~cat:"stage" ~name
+        ()
+    in
+    match f () with
+    | v ->
+        Obs.Trace.span_end tracer sp;
+        v
+    | exception e ->
+        Obs.Trace.span_end ~status:"error" tracer sp;
+        raise e
+  in
+  stage "migrate:quiesce" (fun () ->
+      Cvd_front.suspend_watchdog g.frontend;
+      Cvd_front.quiesce g.frontend;
+      drain_links t [ g.link ]);
+  let soft_abort key =
+    (* the source never stopped holding the session: just resume *)
+    Cvd_front.resume g.frontend;
+    Cvd_front.resume_watchdog g.frontend;
+    Obs.Trace.span_end ~status:"error:aborted" tracer op_sp;
+    Migrate_aborted key
+  in
+  match
+    stage "migrate:checkpoint" (fun () ->
+        fault_check t site_migrate_crash_checkpoint;
+        let blob = Snapshot.encode (Cvd_back.checkpoint_link src g.link) in
+        Sim.Engine.wait t.config.Config.marshal_us;
+        blob)
+  with
+  | exception Sim.Fault_inject.Injected key -> soft_abort key
+  | blob -> (
+      match
+        stage "migrate:transfer" (fun () ->
+            fault_check t site_migrate_crash_transfer;
+            let snap = Snapshot.decode blob in
+            Sim.Engine.wait t.config.Config.marshal_us;
+            snap)
+      with
+      | exception Sim.Fault_inject.Injected key -> soft_abort key
+      | snap -> (
+          let old_link = g.link in
+          (* cutover: from here the source's copy is gone *)
+          stage "migrate:cutover" (fun () ->
+              Chan_pool.retire old_link.Cvd_back.pool;
+              Cvd_back.release_link_files src old_link;
+              Cvd_back.detach_link src old_link);
+          let finish link (rstats : Cvd_back.restore_stats) =
+            g.link <- link;
+            let kept, dropped, revoked =
+              stage "migrate:reconcile" (fun () ->
+                  reconcile_hyp t ~guest_vm:g.vm ~snap)
+            in
+            stage "migrate:resume" (fun () ->
+                Cvd_front.resume ~pool:link.Cvd_back.pool g.frontend;
+                Cvd_front.resume_watchdog g.frontend);
+            {
+              mg_blackout_us = now () -. blackout_began;
+              mg_checkpoint_bytes = String.length blob;
+              mg_files_restored = rstats.Cvd_back.rs_files;
+              mg_files_dropped = rstats.Cvd_back.rs_dropped;
+              mg_vmas_restored = rstats.Cvd_back.rs_vmas;
+              mg_fasync_rearmed = rstats.Cvd_back.rs_fasync;
+              mg_mappings_kept = kept;
+              mg_mappings_dropped = dropped;
+              mg_grants_revoked = revoked;
+            }
+          in
+          match
+            stage "migrate:restore" (fun () ->
+                Cvd_back.restore_link dst ~snap ~guest_vm:g.vm
+                  ~fail_site:site_migrate_crash_restore ())
+          with
+          | link, rstats ->
+              let stats = finish link rstats in
+              Obs.Trace.span_end tracer op_sp;
+              Migrated stats
+          | exception Sim.Fault_inject.Injected key ->
+              (* the destination crashed mid-restore and already tore
+                 its partial copy down; restore the same snapshot back
+                 onto the source so the session lands whole on exactly
+                 one side *)
+              let link, rstats =
+                stage "migrate:restore_back" (fun () ->
+                    Cvd_back.restore_link src ~snap ~guest_vm:g.vm ())
+              in
+              let stats = finish link rstats in
+              Obs.Trace.span_end ~status:"error:failed_back" tracer op_sp;
+              Migrate_failed_back (key, stats)))
 
 (* ------------------------------------------------------------------ *)
 (* Device attachment                                                   *)

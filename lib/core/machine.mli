@@ -31,6 +31,14 @@ type gpu_attachment = {
   mutable isolation : Hypervisor.Region.t option;
 }
 
+(** A second live driver VM serving the same exports — a session-
+    migration target. *)
+type replica = {
+  rep_vm : Hypervisor.Vm.t;
+  rep_kernel : Oskit.Kernel.t;
+  rep_backend : Cvd_back.t;
+}
+
 type t = {
   mode : mode;
   config : Config.t;
@@ -47,6 +55,7 @@ type t = {
   policy : Policy.t;
   mutable exports : export_record list;
   mutable guests : guest list;
+  mutable replicas : replica list;
   mutable gpu : gpu_attachment option;
   mutable mouse : Devices.Evdev.t option;
   mutable keyboard : Devices.Evdev.t option;
@@ -106,6 +115,101 @@ val last_killed_at : t -> float
 
 val driver_generation : t -> int
 (** Number of reboots so far. *)
+
+(** {1 Live driver-VM operations (hot upgrade, session migration)}
+
+    Planned handoffs built on the session checkpoint/restore core:
+    quiesce each guest link (frontend parks new operations, rings
+    drain, heartbeat suspended), checkpoint backend-side session state
+    through the versioned {!Snapshot} wire format, swap or copy, then
+    restore through the same sanitization as live requests and resume.
+    Guests' open files keep working — no ENODEV on the happy path. *)
+
+(** Abort-style fault sites checked during the handoffs (see
+    {!Sim.Fault_inject.check}). *)
+val site_upgrade_crash_checkpoint : string
+
+val site_upgrade_crash_restore : string
+val site_migrate_crash_checkpoint : string
+val site_migrate_crash_transfer : string
+val site_migrate_crash_restore : string
+
+type upgrade_stats = {
+  up_generation : int;
+  up_boot_us : float;
+      (** replacement boot time, overlapped with live service — outside
+          the blackout *)
+  up_blackout_us : float;  (** guest-visible stall: quiesce → resume *)
+  up_quiesce_us : float;
+  up_checkpoint_us : float;
+  up_swap_us : float;
+  up_restore_us : float;
+  up_resume_us : float;
+  up_checkpoint_bytes : int;  (** encoded snapshot bytes, all guests *)
+  up_parked_ops : int;
+      (** operations that hit a retiring channel and replayed on the
+          successor *)
+  up_files_restored : int;
+  up_files_dropped : int;  (** snapshot entries refused by re-validation *)
+  up_vmas_restored : int;
+  up_fasync_rearmed : int;
+  up_mappings_kept : int;
+  up_mappings_dropped : int;
+  up_grants_revoked : int;
+}
+
+type upgrade_outcome =
+  | Upgraded of upgrade_stats
+  | Upgrade_degraded_reboot
+      (** the incumbent was already dead (or died while the replacement
+          booted): fell back to {!reboot_driver_vm} crash recovery *)
+  | Upgrade_aborted of string
+      (** crash (fault-site key) before the point of no return: the
+          replacement was discarded and the incumbent kept serving —
+          guests saw only latency *)
+  | Upgrade_failed_dead of string
+      (** crash after the incumbent was gone: guests fault exactly as
+          on a driver-VM crash; {!reboot_driver_vm} recovers *)
+
+(** Hot-upgrade the driver VM: boot the replacement while the incumbent
+    serves, then quiesce, checkpoint, swap, restore, resume.  Process
+    context. *)
+val upgrade_driver_vm : t -> upgrade_outcome
+
+(** Live replicas in spawn order. *)
+val replicas : t -> replica list
+
+(** Boot a second live driver VM serving the same exports — a
+    migration target.  Process context. *)
+val spawn_driver_replica : ?name:string -> t -> replica
+
+type migrate_stats = {
+  mg_blackout_us : float;
+  mg_checkpoint_bytes : int;
+  mg_files_restored : int;
+  mg_files_dropped : int;
+  mg_vmas_restored : int;
+  mg_fasync_rearmed : int;
+  mg_mappings_kept : int;
+  mg_mappings_dropped : int;
+  mg_grants_revoked : int;
+}
+
+type migrate_outcome =
+  | Migrated of migrate_stats
+  | Migrate_aborted of string
+      (** crash before cutover: the session is untouched on the
+          source *)
+  | Migrate_failed_back of string * migrate_stats
+      (** the destination crashed mid-restore; the same snapshot was
+          restored back onto the source — the session lands whole on
+          exactly one side *)
+
+(** Move one guest's session between live driver VMs using the same
+    checkpoint/restore core as the hot upgrade.  [dst] is typically a
+    {!replica}'s backend (or [t.backend] to migrate home).  Process
+    context. *)
+val migrate_guest : t -> guest -> dst:Cvd_back.t -> migrate_outcome
 
 (** {1 Device attachment}
 

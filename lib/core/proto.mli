@@ -68,6 +68,11 @@ val max_mmap_bytes : int
 (** Largest virtual descriptor number {!validate} accepts. *)
 val max_vfd : int
 
+(** The devfs-path rule {!validate} applies to [Ropen] — exposed so
+    checkpoint restore can re-vet snapshotted paths through the exact
+    same predicate as live requests. *)
+val valid_path : string -> bool
+
 val encode_response : response -> bytes
 val decode_response : bytes -> response
 val op_kind_of_request : request -> Oskit.Os_flavor.op_kind

@@ -1,0 +1,242 @@
+(** Versioned session snapshots for planned driver-VM handoff (hot
+    upgrade, §7.1–§7.2 applied to {e planned} restarts; session
+    migration between live driver VMs).
+
+    A snapshot captures exactly the backend-side state a successor
+    driver VM needs to keep a guest's open files working — and nothing
+    it could not re-derive or re-validate:
+
+    - per-guest open vfds with the device path, fasync/nonblock flags
+      and mirrored VMA layout of each file;
+    - the containment record (misbehavior counters, score, quarantine
+      flag) so a hostile guest does not launder its history through an
+      upgrade;
+    - the outstanding grant-table groups, checkpointed so the restore
+      path can {e verify} the shared table rather than trust it.
+
+    What is deliberately {e not} in a snapshot: device-internal state
+    (drivers are re-entered through [fop_open], exactly as after a
+    crash reboot — the paper's §7.1 recovery model), hypervisor EPT /
+    guest-leaf mappings (keyed by the guest, they survive the swap and
+    are re-validated in place), and transport state (rings are rebuilt
+    empty; in-flight operations drain or are replayed by the
+    frontend).
+
+    The wire format is little-endian and versioned; {!decode} distrusts
+    the blob the way {!Proto.decode_request} distrusts a descriptor:
+    every length is bounded and every tag checked, raising {!Malformed}
+    rather than producing an undefined session. *)
+
+type file_rec = {
+  fr_vfd : int;
+  fr_path : string;
+  fr_fasync : bool;  (** had live SIGIO subscribers *)
+  fr_nonblock : bool;
+  fr_vmas : (int * int * int) list;  (** (gva, len, pgoff), oldest first *)
+}
+
+type link_snap = {
+  ls_guest_vm_id : int;
+  ls_next_vfd : int;
+  ls_ops_served : int;
+  ls_malformed : int;
+  ls_rejected : int;
+  ls_grant_faults : int;
+  ls_quota_breaches : int;
+  ls_score : int;
+  ls_quarantined : bool;
+  ls_files : file_rec list;  (** ascending vfd *)
+  ls_grants : (int * Hypervisor.Grant_table.op list) list;
+      (** outstanding grant-table groups, from {!Hypervisor.Grant_table.snapshot} *)
+}
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* Format version history:
+   1 — initial: header, file table, grant table. *)
+let magic = 0x50AD1CE1
+let version = 1
+
+(* Defensive caps mirroring the live sanitization bounds: a snapshot
+   may never describe a session the sanitizer would have refused. *)
+let max_files = 1 lsl 20 (* Proto.max_vfd *)
+let max_vmas_per_file = 4096
+let max_grant_groups = 4096
+let max_ops_per_group = 4096
+
+(* ---- writer ---- *)
+
+let w32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let w64 b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let w_string b s =
+  w32 b (String.length s);
+  Buffer.add_string b s
+
+let w_bool b v = w32 b (if v then 1 else 0)
+
+let op_code : Hypervisor.Grant_table.op -> int = function
+  | Hypervisor.Grant_table.Copy_to_user _ -> 1
+  | Hypervisor.Grant_table.Copy_from_user _ -> 2
+  | Hypervisor.Grant_table.Map_page _ -> 3
+
+let op_fields : Hypervisor.Grant_table.op -> int * int = function
+  | Hypervisor.Grant_table.Copy_to_user { addr; len }
+  | Hypervisor.Grant_table.Copy_from_user { addr; len }
+  | Hypervisor.Grant_table.Map_page { addr; len } ->
+      (addr, len)
+
+(* ---- reader ---- *)
+
+type cursor = { buf : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.buf then
+    malformed "truncated snapshot at byte %d (need %d more)" c.pos n
+
+let r32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.buf c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let r64 c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_le c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_string c =
+  let n = r32 c in
+  if n > 256 then malformed "path length %d" n;
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_bool c = r32 c <> 0
+
+(* ---- encode ---- *)
+
+let encode (snap : link_snap) : string =
+  let b = Buffer.create 256 in
+  w32 b magic;
+  w32 b version;
+  w32 b snap.ls_guest_vm_id;
+  w32 b snap.ls_next_vfd;
+  w32 b snap.ls_ops_served;
+  w32 b snap.ls_malformed;
+  w32 b snap.ls_rejected;
+  w32 b snap.ls_grant_faults;
+  w32 b snap.ls_quota_breaches;
+  w32 b snap.ls_score;
+  w_bool b snap.ls_quarantined;
+  w32 b (List.length snap.ls_files);
+  List.iter
+    (fun fr ->
+      w32 b fr.fr_vfd;
+      w_string b fr.fr_path;
+      w_bool b fr.fr_fasync;
+      w_bool b fr.fr_nonblock;
+      w32 b (List.length fr.fr_vmas);
+      List.iter
+        (fun (gva, len, pgoff) ->
+          w64 b gva;
+          w64 b len;
+          w64 b pgoff)
+        fr.fr_vmas)
+    snap.ls_files;
+  w32 b (List.length snap.ls_grants);
+  List.iter
+    (fun (grant_ref, ops) ->
+      w32 b grant_ref;
+      w32 b (List.length ops);
+      List.iter
+        (fun op ->
+          let addr, len = op_fields op in
+          w32 b (op_code op);
+          w64 b addr;
+          w64 b len)
+        ops)
+    snap.ls_grants;
+  Buffer.contents b
+
+(* ---- decode ---- *)
+
+let decode (blob : string) : link_snap =
+  let c = { buf = blob; pos = 0 } in
+  let m = r32 c in
+  if m <> magic then malformed "bad magic 0x%x" m;
+  let v = r32 c in
+  if v <> version then malformed "unsupported snapshot version %d" v;
+  let ls_guest_vm_id = r32 c in
+  let ls_next_vfd = r32 c in
+  let ls_ops_served = r32 c in
+  let ls_malformed = r32 c in
+  let ls_rejected = r32 c in
+  let ls_grant_faults = r32 c in
+  let ls_quota_breaches = r32 c in
+  let ls_score = r32 c in
+  let ls_quarantined = r_bool c in
+  let nfiles = r32 c in
+  if nfiles > max_files then malformed "file count %d" nfiles;
+  let files =
+    List.init nfiles (fun _ ->
+        let fr_vfd = r32 c in
+        if fr_vfd < 0 || fr_vfd > max_files then malformed "vfd %d" fr_vfd;
+        let fr_path = r_string c in
+        let fr_fasync = r_bool c in
+        let fr_nonblock = r_bool c in
+        let nvmas = r32 c in
+        if nvmas > max_vmas_per_file then malformed "vma count %d" nvmas;
+        let fr_vmas =
+          List.init nvmas (fun _ ->
+              let gva = r64 c in
+              let len = r64 c in
+              let pgoff = r64 c in
+              if len < 0 || gva < 0 || pgoff < 0 then
+                malformed "negative vma field";
+              (gva, len, pgoff))
+        in
+        { fr_vfd; fr_path; fr_fasync; fr_nonblock; fr_vmas })
+  in
+  let ngrants = r32 c in
+  if ngrants > max_grant_groups then malformed "grant group count %d" ngrants;
+  let grants =
+    List.init ngrants (fun _ ->
+        let grant_ref = r32 c in
+        if grant_ref < 0 || grant_ref >= Hypervisor.Grant_table.capacity then
+          malformed "grant ref %d" grant_ref;
+        let nops = r32 c in
+        if nops > max_ops_per_group then malformed "op count %d" nops;
+        let ops =
+          List.init nops (fun _ ->
+              let code = r32 c in
+              let addr = r64 c in
+              let len = r64 c in
+              if addr < 0 || len < 0 then malformed "negative grant field";
+              match code with
+              | 1 -> Hypervisor.Grant_table.Copy_to_user { addr; len }
+              | 2 -> Hypervisor.Grant_table.Copy_from_user { addr; len }
+              | 3 -> Hypervisor.Grant_table.Map_page { addr; len }
+              | n -> malformed "grant op kind %d" n)
+        in
+        (grant_ref, ops))
+  in
+  if c.pos <> String.length blob then
+    malformed "%d trailing bytes" (String.length blob - c.pos);
+  {
+    ls_guest_vm_id;
+    ls_next_vfd;
+    ls_ops_served;
+    ls_malformed;
+    ls_rejected;
+    ls_grant_faults;
+    ls_quota_breaches;
+    ls_score;
+    ls_quarantined;
+    ls_files = files;
+    ls_grants = grants;
+  }

@@ -96,16 +96,25 @@ let file_ops t =
         Os_flavor.Fasync ];
     fop_open = (fun _task file -> t.open_files <- file :: t.open_files);
     fop_release =
-      (fun _task file -> t.open_files <- List.filter (fun f -> f != file) t.open_files);
+      (fun _task file ->
+        t.open_files <- List.filter (fun f -> f != file) t.open_files;
+        (* wake readers parked on this queue so one sleeping on the
+           just-closed file observes it instead of hanging forever *)
+        Wait_queue.wake_all t.wq);
     fop_read =
       (fun task file ~buf ~len ->
         let max_events = len / event_bytes in
         if max_events = 0 then Errno.fail Errno.EINVAL "buffer too small";
-        (* block until at least one event, honouring O_NONBLOCK *)
+        (* block until at least one event, honouring O_NONBLOCK.  A
+           sleeper whose file was closed under it (force-release during
+           quarantine or a planned driver-VM handoff) must fail on wake,
+           not steal events that now belong to the file's successor. *)
         while Queue.is_empty t.queue do
+          if file.Defs.closed then Errno.fail Errno.ENODEV "device file closed";
           if file.Defs.nonblock then Errno.fail Errno.EAGAIN "no events";
           Wait_queue.sleep t.wq
         done;
+        if file.Defs.closed then Errno.fail Errno.ENODEV "device file closed";
         (* the read has "reached the driver": close the latency probe
            for each event we are about to deliver *)
         let now = Sim.Engine.now (Kernel.engine t.kernel) in

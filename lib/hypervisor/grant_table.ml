@@ -180,6 +180,49 @@ let active_entries t =
   done;
   !n
 
+(* ---- checkpoint / restore (planned driver-VM handoff) ---- *)
+
+(** Checkpoint every outstanding declaration: [(grant_ref, group)] for
+    each group head, in slot order.  The table itself survives a
+    driver-VM swap (it is shared guest<->hypervisor, the driver VM
+    never maps it), so the snapshot exists to {e re-validate} the page
+    on restore, not to rebuild it. *)
+let snapshot t =
+  let rec groups slot acc =
+    if slot >= capacity then List.rev acc
+    else if slot_free t.guest slot then groups (slot + 1) acc
+    else begin
+      (* walk to the end of this group *)
+      let rec span s ops =
+        match read_entry t.guest ~slot:s with
+        | None, _ -> (s, List.rev ops)
+        | Some op, true -> (s + 1, List.rev (op :: ops))
+        | Some op, false -> span (s + 1) (op :: ops)
+      in
+      let next, ops = span slot [] in
+      groups next ((slot, ops) :: acc)
+    end
+  in
+  groups 0 []
+
+(** Re-validate the live table against a checkpoint: any outstanding
+    group that does not exactly match the snapshot's record — mutated
+    between checkpoint and restore, or appeared from nowhere — is
+    revoked, so the successor driver VM only honours declarations the
+    departed instance could prove.  Returns the number of groups
+    revoked. *)
+let verify_snapshot t snap =
+  let live = snapshot t in
+  let revoked = ref 0 in
+  List.iter
+    (fun (grant_ref, ops) ->
+      if not (List.mem (grant_ref, ops) snap) then begin
+        release t grant_ref;
+        incr revoked
+      end)
+    live;
+  !revoked
+
 (* ---- hypervisor side ---- *)
 
 (** All operations declared under [grant_ref] (hypervisor's view). *)

@@ -53,6 +53,16 @@ val quota : t -> int
 (** How many {!declare} calls were refused with {!Quota_exceeded}. *)
 val quota_breaches : t -> int
 
+(** Checkpoint every outstanding declaration as [(grant_ref, group)]
+    pairs in slot order (planned driver-VM handoff).  The table itself
+    survives the swap; the snapshot re-validates it on restore. *)
+val snapshot : t -> (int * op list) list
+
+(** Re-validate the live table against a {!snapshot}: any group not
+    exactly matching its checkpoint record is revoked.  Returns how
+    many groups were revoked. *)
+val verify_snapshot : t -> (int * op list) list -> int
+
 (** Hypervisor: the operations declared under a reference. *)
 val lookup : t -> int -> op list
 

@@ -133,6 +133,58 @@ let teardown_vm_mappings t ~target =
     doomed;
   List.length doomed
 
+(** Re-validate every cross-VM mapping installed into [target] after a
+    planned driver-VM handoff.  Mappings are keyed by the {e guest}
+    (vm, process page table, gva) — not by the departed driver VM — so
+    they can survive an upgrade with zero guest-visible faults; but the
+    successor must not inherit state it cannot prove.  A mapping
+    survives iff its owning process is still registered, its guest
+    leaf still resolves, and the EPT still backs the recorded gpa;
+    anything else is torn down exactly as {!teardown_vm_mappings}
+    would.  Returns [(kept, dropped)]. *)
+let revalidate_vm_mappings t ~target =
+  let vm_id = Vm.id target in
+  let entries =
+    Hashtbl.fold
+      (fun ((id, _, _) as key) gpa acc ->
+        if id = vm_id then (key, gpa) :: acc else acc)
+      t.mmap_registry []
+    |> List.sort compare
+  in
+  let pt_of pt_id =
+    Hashtbl.fold
+      (fun (id, _) pt acc ->
+        if id = vm_id && Memory.Guest_pt.id pt = pt_id then Some pt else acc)
+      t.process_registry None
+  in
+  let kept = ref 0 and dropped = ref 0 in
+  List.iter
+    (fun (((_, pt_id, gva) as key), gpa) ->
+      let pt = pt_of pt_id in
+      let valid =
+        match pt with
+        | None -> false
+        | Some pt -> (
+            match Memory.Guest_pt.translate_opt pt ~gva ~access:Memory.Perm.Read with
+            | Some leaf_gpa ->
+                leaf_gpa = gpa
+                && Memory.Ept.lookup target.Vm.ept ~gpa <> None
+            | None -> false)
+      in
+      if valid then incr kept
+      else begin
+        (match pt with
+        | Some pt -> ignore (Memory.Guest_pt.unmap pt ~gva)
+        | None -> ());
+        ignore (Memory.Ept.unmap target.Vm.ept ~gpa);
+        Memory.Allocator.unreserve target.Vm.gpa_alloc gpa;
+        Hashtbl.remove t.mmap_registry key;
+        t.audit.Audit.unmaps_performed <- t.audit.Audit.unmaps_performed + 1;
+        incr dropped
+      end)
+    entries;
+  (!kept, !dropped)
+
 (* ---- grant tables ---- *)
 
 (** Set up a guest's grant table (one page shared guest<->hypervisor). *)

@@ -38,6 +38,13 @@ val kill_vm : t -> Vm.t -> unit
     recovery: a rebooted driver VM must not inherit stale mappings. *)
 val teardown_vm_mappings : t -> target:Vm.t -> int
 
+(** Re-validate every cross-VM mapping installed into [target] after a
+    planned driver-VM handoff: a mapping survives iff its owning
+    process is still registered, its guest leaf still resolves to the
+    recorded gpa, and the EPT still backs it; anything else is torn
+    down as {!teardown_vm_mappings} would.  Returns [(kept, dropped)]. *)
+val revalidate_vm_mappings : t -> target:Vm.t -> int * int
+
 (** {1 Grant tables} *)
 
 val setup_grant_table : t -> Vm.t -> Grant_table.t

@@ -25,7 +25,7 @@
 (** Display lane of a span: rendered as a Chrome trace "process" so
     the frontend, transport, backend and hypervisor stack into
     separate swimlane groups. *)
-type lane = Frontend | Transport | Ring | Backend | Hypervisor
+type lane = Frontend | Transport | Ring | Backend | Hypervisor | Machine
 
 let lane_pid = function
   | Frontend -> 1
@@ -33,6 +33,7 @@ let lane_pid = function
   | Ring -> 3
   | Backend -> 4
   | Hypervisor -> 5
+  | Machine -> 6
 
 let lane_name = function
   | Frontend -> "frontend (guest)"
@@ -40,8 +41,9 @@ let lane_name = function
   | Ring -> "descriptor ring"
   | Backend -> "backend (driver VM)"
   | Hypervisor -> "hypervisor"
+  | Machine -> "machine (maintenance)"
 
-let lanes = [ Frontend; Transport; Ring; Backend; Hypervisor ]
+let lanes = [ Frontend; Transport; Ring; Backend; Hypervisor; Machine ]
 
 type span = {
   sp_id : int;

@@ -8,7 +8,7 @@
     feed the {!Metrics} histograms (keyed ["cat.name"]) and the
     Chrome trace-event exporter ({!to_chrome_json}, Perfetto-loadable). *)
 
-type lane = Frontend | Transport | Ring | Backend | Hypervisor
+type lane = Frontend | Transport | Ring | Backend | Hypervisor | Machine
 
 val lane_pid : lane -> int
 val lane_name : lane -> string

@@ -86,6 +86,14 @@ let fires t ~key =
   end;
   hit
 
+exception Injected of string
+
+(** Abort-style fail point: visit the site and raise {!Injected} when
+    the armed plan fires.  Used for multi-phase operations (driver-VM
+    upgrade, session migration) where the owner must unwind to a known
+    state rather than merely observe the fault. *)
+let check t ~key = if fires t ~key then raise (Injected key)
+
 let seen t ~key = (site t key).seen
 let fired t ~key = (site t key).fired
 

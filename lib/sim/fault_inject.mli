@@ -25,6 +25,14 @@ val on_fire : t -> key:string -> (unit -> unit) -> unit
 (** Visit the site: did the fault happen this time? *)
 val fires : t -> key:string -> bool
 
+exception Injected of string
+(** Raised by {!check} with the site key. *)
+
+(** Abort-style fail point: like {!fires} but raises {!Injected} on
+    firing, for multi-phase operations that must unwind to a known
+    state (upgrade/migration crash sites). *)
+val check : t -> key:string -> unit
+
 val seen : t -> key:string -> int
 val fired : t -> key:string -> int
 
