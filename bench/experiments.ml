@@ -1515,3 +1515,274 @@ let upgrade () =
         failwith
           (Printf.sprintf "upgrade: %s completed %d/%d" label completed target))
     results
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid notification + multi-op descriptors (ROADMAP item 2)         *)
+(* ------------------------------------------------------------------ *)
+
+(* NAPI-style hybrid notification: an interrupt wakes the idle side,
+   which then stays in a bounded poll window while work keeps
+   arriving, so back-to-back operations ride at polling cost without a
+   dedicated polling CPU.  Multi-op descriptors pack several small
+   file operations into one ring slot, amortising the remaining
+   notification legs.  This experiment recomputes §6.1.1 and Figure 2
+   under both mechanisms and gates CI on the results. *)
+
+let notify () =
+  Report.heading
+    "Hybrid notification + multi-op descriptors — §6.1.1 / Figure 2 revisited";
+  let errors = ref [] in
+  let guard ~what f ~fallback =
+    try f ()
+    with exn ->
+      errors := Printf.sprintf "%s: %s" what (Printexc.to_string exn) :: !errors;
+      fallback
+  in
+  (* -- (a) §6.1.1 no-op latency across notification modes -- *)
+  let noop_modes =
+    [
+      ("interrupts", Paradice.Config.default);
+      ("hybrid", Paradice.Config.hybrid);
+      ("polling", Paradice.Config.polling);
+    ]
+  in
+  let noop_results =
+    List.map
+      (fun (name, cfg) ->
+        let m, env = Setup.make ~devices:[ Setup.Null ] (Setup.Paradice cfg) in
+        let avg =
+          guard ~what:("noop/" ^ name) ~fallback:nan (fun () ->
+              Workloads.Noop_bench.run env ~ops:(scaled 2000) ())
+        in
+        let g = List.hd (Paradice.Machine.guests m) in
+        let _fwd, _jit, st = Paradice.Cvd_front.stats g.Paradice.Machine.frontend in
+        (name, avg, st))
+      noop_modes
+  in
+  Report.table
+    ~header:
+      [ "mode"; "added latency (us/op)"; "notify legs"; "poll pickups";
+        "poll deliveries"; "dedicated poll CPUs" ]
+    (List.map
+       (fun (name, avg, st) ->
+         [
+           name;
+           Report.f2 avg;
+           string_of_int st.Paradice.Chan_pool.legs;
+           string_of_int st.Paradice.Chan_pool.req_poll_pickups;
+           string_of_int st.Paradice.Chan_pool.resp_poll_deliveries;
+           (if name = "polling" then "2" else "0");
+         ])
+       noop_results);
+  let noop_of name =
+    let _, avg, _ = List.find (fun (n, _, _) -> n = name) noop_results in
+    avg
+  in
+  Report.note
+    "hybrid rides the poll window between back-to-back ops: polling-cost handoffs,";
+  Report.note
+    "      zero dedicated polling CPUs; the interrupt pair returns only after idle";
+  (* -- (b) Figure 2 recomputed with multi-op descriptors -- *)
+  let line_rate = 1.488 in
+  let packets = scaled 20_000 in
+  let ops_per_desc = 16 in
+  let fig2_cols =
+    [
+      ("Paradice", Paradice.Config.default, false);
+      ("Paradice+mop", Paradice.Config.default, true);
+      ("Paradice(H)+mop", Paradice.Config.hybrid, true);
+      ("Paradice(P)", Paradice.Config.polling, false);
+    ]
+  in
+  let batches = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let grid =
+    List.map
+      (fun batch ->
+        ( batch,
+          List.map
+            (fun (name, cfg, batched) ->
+              guard
+                ~what:(Printf.sprintf "fig2/%s/batch=%d" name batch)
+                ~fallback:nan
+                (fun () ->
+                  let _m, env =
+                    Setup.make ~devices:[ Setup.Netmap ] (Setup.Paradice cfg)
+                  in
+                  let r =
+                    if batched then
+                      Workloads.Netmap_pktgen.run_batched env ~packets ~batch
+                        ~ops_per_desc ()
+                    else Workloads.Netmap_pktgen.run env ~packets ~batch ()
+                  in
+                  r.Workloads.Netmap_pktgen.rate_mpps))
+            fig2_cols ))
+      batches
+  in
+  Report.table
+    ~header:("batch" :: List.map (fun (n, _, _) -> n) fig2_cols)
+    (List.map
+       (fun (batch, rates) -> string_of_int batch :: List.map Report.f3 rates)
+       grid);
+  Report.note "line rate at 64B on 1GbE = 1.488 Mpps; +mop = %d txsyncs per descriptor"
+    ops_per_desc;
+  let crossover col =
+    List.fold_left
+      (fun acc (batch, rates) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if List.nth rates col >= 0.95 *. line_rate then Some batch else None)
+      None grid
+  in
+  let crossovers = List.mapi (fun i (name, _, _) -> (name, crossover i)) fig2_cols in
+  List.iter
+    (fun (name, c) ->
+      Report.note "crossover to line rate: %-16s %s" name
+        (match c with Some b -> Printf.sprintf "batch >= %d" b | None -> "never"))
+    crossovers;
+  (* -- (c) trace tiling in every mode (noop, traced) -- *)
+  let reconcile_rows =
+    List.map
+      (fun (name, cfg) ->
+        let tracer = Obs.Trace.create () in
+        let cfg = { cfg with Paradice.Config.tracer } in
+        let _m, env = Setup.make ~devices:[ Setup.Null ] (Setup.Paradice cfg) in
+        let (_ : float) =
+          guard ~what:("reconcile/" ^ name) ~fallback:nan (fun () ->
+              Workloads.Noop_bench.run env ~ops:(scaled 50) ())
+        in
+        (name, Obs.Trace.reconcile tracer, Obs.Trace.metrics tracer))
+      noop_modes
+  in
+  let batch_reconcile =
+    let tracer = Obs.Trace.create () in
+    let cfg = { Paradice.Config.hybrid with Paradice.Config.tracer } in
+    let _m, env = Setup.make ~devices:[ Setup.Netmap ] (Setup.Paradice cfg) in
+    let (_ : Workloads.Netmap_pktgen.result) =
+      guard ~what:"reconcile/hybrid+mop" (fun () ->
+          Workloads.Netmap_pktgen.run_batched env ~packets:(scaled 2000) ~batch:8
+            ~ops_per_desc ())
+        ~fallback:
+          { Workloads.Netmap_pktgen.rate_mpps = nan; packets = 0; elapsed_s = nan }
+    in
+    ("hybrid+mop", Obs.Trace.reconcile tracer, Obs.Trace.metrics tracer)
+  in
+  let reconcile_rows = reconcile_rows @ [ batch_reconcile ] in
+  Report.table
+    ~header:[ "mode (traced noop)"; "ops reconciled"; "max gap (us)" ]
+    (List.map
+       (fun (name, r, _) ->
+         [
+           name;
+           string_of_int r.Obs.Trace.r_ops;
+           Printf.sprintf "%.3f" r.Obs.Trace.r_max_gap_us;
+         ])
+       reconcile_rows);
+  List.iter
+    (fun (name, _, metrics) ->
+      List.iter
+        (fun (counter, count) ->
+          if
+            counter = "doorbell.req_suppressed"
+            || counter = "doorbell.resp_suppressed"
+            || counter = "hybrid.poll_windows"
+          then Report.note "%s: counter %s = %d" name counter count)
+        (Obs.Metrics.counters metrics))
+    reconcile_rows;
+  Report.note
+    "acceptance: stage spans (incl. hybrid handoffs, per-sub-op spans excluded)";
+  Report.note "            tile each op exactly in every notification mode";
+  (* machine-readable record for CI *)
+  let oc = open_out "BENCH_notify.json" in
+  let noop_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, avg, st) ->
+           Printf.sprintf
+             {|    {"mode": "%s", "latency_us": %.3f, "legs": %d, "poll_pickups": %d, "poll_deliveries": %d}|}
+             name avg st.Paradice.Chan_pool.legs
+             st.Paradice.Chan_pool.req_poll_pickups
+             st.Paradice.Chan_pool.resp_poll_deliveries)
+         noop_results)
+  in
+  let fig2_json =
+    String.concat ",\n"
+      (List.map
+         (fun (batch, rates) ->
+           Printf.sprintf {|    {"batch": %d, %s}|} batch
+             (String.concat ", "
+                (List.map2
+                   (fun (name, _, _) rate ->
+                     Printf.sprintf {|"%s": %.3f|} name rate)
+                   fig2_cols rates)))
+         grid)
+  in
+  let crossover_json =
+    String.concat ", "
+      (List.map
+         (fun (name, c) ->
+           Printf.sprintf {|"%s": %s|} name
+             (match c with Some b -> string_of_int b | None -> "null"))
+         crossovers)
+  in
+  let reconcile_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, r, _) ->
+           Printf.sprintf
+             {|    {"mode": "%s", "ops": %d, "max_gap_us": %.3f}|}
+             name r.Obs.Trace.r_ops r.Obs.Trace.r_max_gap_us)
+         reconcile_rows)
+  in
+  Printf.fprintf oc
+    {|{
+  "experiment": "notify",
+  "scale": %g,
+  "ops_per_desc": %d,
+  "noop": [
+%s
+  ],
+  "hybrid_over_polling": %.3f,
+  "fig2": [
+%s
+  ],
+  "crossover": {%s},
+  "reconcile": [
+%s
+  ],
+  "errors": [%s]
+}
+|}
+    !scale ops_per_desc noop_json
+    (noop_of "hybrid" /. noop_of "polling")
+    fig2_json crossover_json reconcile_json
+    (String.concat ", "
+       (List.map (fun e -> Printf.sprintf "%S" e) !errors));
+  close_out oc;
+  Report.note "wrote BENCH_notify.json";
+  (* hard acceptance gates — CI fails on any of these *)
+  (match !errors with
+  | [] -> ()
+  | es -> failwith ("notify: op errors: " ^ String.concat "; " es));
+  let hybrid_noop = noop_of "hybrid" and polling_noop = noop_of "polling" in
+  if not (hybrid_noop <= 2. *. polling_noop) then
+    failwith
+      (Printf.sprintf "notify: hybrid noop %.2f us exceeds 2x polling %.2f us"
+         hybrid_noop polling_noop);
+  (match List.assoc "Paradice+mop" crossovers with
+  | Some b when b <= 4 -> ()
+  | Some b ->
+      failwith
+        (Printf.sprintf
+           "notify: interrupt-mode crossover with multi-op descriptors at batch %d (> 4)"
+           b)
+  | None ->
+      failwith
+        "notify: interrupt-mode multi-op descriptors never reach line rate");
+  List.iter
+    (fun (name, r, _) ->
+      if r.Obs.Trace.r_max_gap_us > 0.001 then
+        failwith
+          (Printf.sprintf "notify: %s trace tiling gap %.3f us" name
+             r.Obs.Trace.r_max_gap_us))
+    reconcile_rows

@@ -16,7 +16,9 @@ let mode_label = function
   | Paradice c -> (
       match c.Paradice.Config.comm_mode with
       | Paradice.Config.Interrupts ->
-          if c.Paradice.Config.data_isolation then "Paradice(DI)" else "Paradice"
+          if c.Paradice.Config.hybrid then "Paradice(H)"
+          else if c.Paradice.Config.data_isolation then "Paradice(DI)"
+          else "Paradice"
       | Paradice.Config.Polling -> "Paradice(P)")
   | Paradice_freebsd _ -> "Paradice(FL)"
 

@@ -31,6 +31,13 @@ let notify_channel t = t.channels.(0)
 
 let iter_channels t f = Array.iter f t.channels
 
+(** Live notification-mode switch across the whole pool (an operator
+    flipping a guest's links between interrupts / hybrid / polling
+    mid-stream). *)
+let set_comm_mode t mode = Array.iter (fun c -> Channel.set_comm_mode c mode) t.channels
+
+let set_hybrid t on = Array.iter (fun c -> Channel.set_hybrid c on) t.channels
+
 (** Retire every channel (planned handoff): stragglers inside {!rpc}
     raise {!Channel.Retired} and replay on the successor pool. *)
 let retire t = Array.iter Channel.retire t.channels
@@ -70,6 +77,9 @@ type stats = {
   timeouts : int;
   retries : int;
   stale_responses : int;
+  protocol_violations : int;
+  req_poll_pickups : int;
+  resp_poll_deliveries : int;
 }
 
 let stats t =
@@ -82,4 +92,7 @@ let stats t =
     timeouts = sum (fun s -> s.Channel.timeouts);
     retries = sum (fun s -> s.Channel.retries);
     stale_responses = sum (fun s -> s.Channel.stale_responses);
+    protocol_violations = sum (fun s -> s.Channel.protocol_violations);
+    req_poll_pickups = sum (fun s -> s.Channel.req_poll_pickups);
+    resp_poll_deliveries = sum (fun s -> s.Channel.resp_poll_deliveries);
   }

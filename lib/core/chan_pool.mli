@@ -21,6 +21,12 @@ val notify_channel : t -> Channel.t
 
 val iter_channels : t -> (Channel.t -> unit) -> unit
 
+(** Live notification-mode switch applied to every channel (see
+    {!Channel.set_comm_mode} / {!Channel.set_hybrid}). *)
+val set_comm_mode : t -> Config.comm_mode -> unit
+
+val set_hybrid : t -> bool -> unit
+
 (** Retire every channel (planned handoff — see {!Channel.retire}). *)
 val retire : t -> unit
 
@@ -40,6 +46,9 @@ type stats = {
   timeouts : int;
   retries : int;
   stale_responses : int;
+  protocol_violations : int;  (** responds on slots not in service *)
+  req_poll_pickups : int;  (** hybrid request handoffs at polling cost *)
+  resp_poll_deliveries : int;  (** hybrid response handoffs at polling cost *)
 }
 
 val stats : t -> stats

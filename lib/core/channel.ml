@@ -58,10 +58,26 @@ type t = {
   free_slots : int Queue.t;
   mutable next_seq : int;
   service_seq : int array; (* backend: seq drained per slot, echoed back *)
+  service_active : bool array; (* backend: slot claimed and not yet answered.
+                                   Backend-private — unlike the control-page
+                                   state word, a guest cannot rewrite it — so
+                                   it is the authority on whether a respond
+                                   pairs with an outstanding claim. *)
   (* doorbell-coalescing state *)
   mutable back_active : bool; (* backend awake and draining the ring *)
   mutable req_irq_pending : bool; (* a request doorbell leg is in flight *)
   mutable resp_irq_pending : bool; (* a response doorbell leg is in flight *)
+  (* hybrid (NAPI-style) notification state.  While a side is inside
+     its bounded poll window the other side skips the interrupt leg and
+     hands work over at polling cost instead. *)
+  mutable back_polling : bool; (* backend inside its hybrid poll window *)
+  mutable req_poll_pending : bool; (* a request poll pickup is scheduled *)
+  mutable resp_poll_pending : bool; (* a response poll delivery is scheduled *)
+  mutable back_poll_budget_left : float; (* dry-poll budget this episode *)
+  (* runtime overrides for live mode switching: [None] defers to the
+     immutable [config], so defaults leave behaviour bit-identical *)
+  mutable mode_override : Config.comm_mode option;
+  mutable hybrid_override : bool option;
   (* Cold-path tracking is per receiving endpoint: a leg towards a
      worker that has been idle pays the cold surcharge (idle wakeup,
      scheduler, cache refill), while a recently-active receiver is
@@ -78,7 +94,11 @@ type t = {
   mutable in_service : int; (* descriptors drained, not yet answered *)
   mutable notifications : int;
   mutable pending_notify : bool; (* signal collapsing: one interrupt pending *)
+  mutable notify_seen : int; (* frontend: last counter value observed *)
   mutable stale_responses : int;
+  mutable protocol_violations : int; (* responds on slots not in service *)
+  mutable req_poll_pickups : int; (* request handoffs at polling cost *)
+  mutable resp_poll_deliveries : int; (* response handoffs at polling cost *)
   (* A killed channel (driver-VM crash) never completes an exchange
      again: senders fail fast with EIO, blocked receivers are woken so
      they can observe the death instead of hanging forever. *)
@@ -109,6 +129,13 @@ let st_resp_ready = 3
 let st_delivered = 4
 let state_off slot = 4 * slot
 let notify_off = 512
+
+(* Doorbell-suppression counter: the number of frontend waiters
+   currently poll-watching for their response.  While it is non-zero
+   the backend's [respond] skips the response interrupt and hands the
+   completion over at polling cost instead (the frontend mirror of the
+   backend's hybrid poll window). *)
+let front_watch_off = 516
 let slot_off slot = Memory.Addr.page_size + (slot * Proto.slot_size)
 
 (* the control page holds up to 128 slot state words before notify_off *)
@@ -145,9 +172,16 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
     free_slots;
     next_seq = 0;
     service_seq = Array.make slots 0;
+    service_active = Array.make slots false;
     back_active = false;
     req_irq_pending = false;
     resp_irq_pending = false;
+    back_polling = false;
+    req_poll_pending = false;
+    resp_poll_pending = false;
+    back_poll_budget_left = config.Config.hybrid_poll_budget_us;
+    mode_override = None;
+    hybrid_override = None;
     front_last_wake = neg_infinity;
     back_last_wake = neg_infinity;
     scan_cursor = 0;
@@ -159,7 +193,11 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
     in_service = 0;
     notifications = 0;
     pending_notify = false;
+    notify_seen = 0;
     stale_responses = 0;
+    protocol_violations = 0;
+    req_poll_pickups = 0;
+    resp_poll_deliveries = 0;
     dead = false;
     retired = false;
     timeouts = 0;
@@ -173,6 +211,43 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
 
 let is_dead t = t.dead
 let ring_slots t = t.slots
+
+(* ---- live mode switching ----
+   [Config.t] is immutable, so runtime notification-mode changes (an
+   operator flipping a fleet from interrupts to hybrid mid-stream) are
+   per-channel overrides consulted at every signalling decision.  The
+   default [None] defers to the config, leaving behaviour — and every
+   simulated-time table — bit-identical. *)
+
+let comm_mode t =
+  match t.mode_override with
+  | Some m -> m
+  | None -> t.config.Config.comm_mode
+
+let hybrid_enabled t =
+  match t.hybrid_override with
+  | Some h -> h
+  | None -> t.config.Config.hybrid
+
+let set_comm_mode t mode = t.mode_override <- Some mode
+
+let set_hybrid t on =
+  t.hybrid_override <- Some on;
+  (* a backend mid-window finishes that window; switching off leaves a
+     zero budget so no new window opens, switching on grants a fresh
+     episode budget immediately *)
+  t.back_poll_budget_left <-
+    (if on then t.config.Config.hybrid_poll_budget_us else 0.)
+
+let leg_latency t =
+  match comm_mode t with
+  | Config.Interrupts -> t.config.Config.interrupt_latency_us
+  | Config.Polling -> t.config.Config.polling_latency_us
+
+let cold_extra t =
+  match comm_mode t with
+  | Config.Interrupts -> t.config.Config.cold_extra_interrupt_us
+  | Config.Polling -> t.config.Config.cold_extra_polling_us
 
 (** No operation in flight on either side of the ring. *)
 let quiescent t = t.in_flight = 0 && t.in_service = 0
@@ -241,10 +316,21 @@ let leg t ~receiver k =
   | `Back -> t.back_last_wake <- now);
   t.legs <- t.legs + 1;
   if cold then t.cold_legs <- t.cold_legs + 1;
-  let delay =
-    Config.leg_latency t.config +. (if cold then Config.cold_extra t.config else 0.)
-  in
+  let delay = leg_latency t +. (if cold then cold_extra t else 0.) in
   Sim.Engine.at t.engine ~delay k
+
+(* One poll handoff towards an actively-polling receiver: no interrupt,
+   no cold surcharge (a poll-watcher is awake by definition), just the
+   shared-page pickup latency.  This is the hybrid win: while the
+   receiver stays inside its window every transfer costs
+   [polling_latency_us] even though the channel's steady-state mode is
+   interrupts. *)
+let poll_handoff t ~receiver k =
+  let now = Sim.Engine.now t.engine in
+  (match receiver with
+  | `Front -> t.front_last_wake <- now
+  | `Back -> t.back_last_wake <- now);
+  Sim.Engine.at t.engine ~delay:t.config.Config.polling_latency_us k
 
 let marshal t = Sim.Engine.wait t.config.Config.marshal_us
 
@@ -278,7 +364,26 @@ let occupancy_sample t =
 let ring_req_doorbell t ~trace =
   if fault_fires t site_delay_req then
     Sim.Engine.wait t.config.Config.fault_delay_us;
-  if (not t.back_active) && not t.req_irq_pending then begin
+  if t.back_polling then begin
+    (* the backend is inside its hybrid poll window: no interrupt —
+       schedule a poll pickup token at polling cost (coalesced while
+       one is already scheduled; the backend's re-scan drains every
+       descriptor published meanwhile) *)
+    m_incr t "doorbell.req_suppressed";
+    if not t.req_poll_pending then begin
+      t.req_poll_pending <- true;
+      t.req_poll_pickups <- t.req_poll_pickups + 1;
+      let sp =
+        Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Transport
+          ~cat:"stage" ~name:"doorbell:req_poll" ()
+      in
+      poll_handoff t ~receiver:`Back (fun () ->
+          t.req_poll_pending <- false;
+          Obs.Trace.span_end t.tracer sp;
+          Sim.Mailbox.send t.req_rx ())
+    end
+  end
+  else if (not t.back_active) && not t.req_irq_pending then begin
     if not (fault_fires t site_drop_req) then begin
       t.req_irq_pending <- true;
       m_incr t "doorbell.req_legs";
@@ -410,10 +515,48 @@ let rpc ?timeout_us t (req_bytes : bytes) : bytes =
             if t.dead then fail_dead t;
             await tries_left seq
           and await tries_left seq =
-            let got =
+            let block () =
               if deadline > 0. then
                 Sim.Mailbox.recv_timeout box ~timeout:deadline
               else Some (Sim.Mailbox.recv box)
+            in
+            let got =
+              if hybrid_enabled t && not t.dead then begin
+                (* hybrid frontend mirror: poll-watch the response for
+                   one window before sleeping behind the response
+                   doorbell.  While the watch counter in the control
+                   page is non-zero, [respond] skips the interrupt and
+                   hands completions over at polling cost. *)
+                let window = t.config.Config.hybrid_poll_window_us in
+                let window =
+                  if deadline > 0. then min window deadline else window
+                in
+                let v =
+                  t.front_view.Hypervisor.Shared_page.read_u32
+                    ~offset:front_watch_off
+                in
+                t.front_view.Hypervisor.Shared_page.write_u32
+                  ~offset:front_watch_off (v + 1);
+                let watched =
+                  Fun.protect
+                    ~finally:(fun () ->
+                      let v =
+                        t.front_view.Hypervisor.Shared_page.read_u32
+                          ~offset:front_watch_off
+                      in
+                      t.front_view.Hypervisor.Shared_page.write_u32
+                        ~offset:front_watch_off (max 0 (v - 1)))
+                    (fun () -> Sim.Mailbox.recv_timeout box ~timeout:window)
+                in
+                match watched with
+                | Some () -> watched
+                | None ->
+                    (* window dry: re-arm the response doorbell and
+                       sleep (the full deadline still applies — a dry
+                       watch window is polling time, not RPC time) *)
+                    if t.dead then Some () else block ()
+              end
+              else block ()
             in
             if t.dead then fail_dead t;
             match got with
@@ -493,13 +636,19 @@ let next_request t : (int * bytes) option =
       in
       go 0
     in
-    let start = ref (Sim.Engine.now t.engine) in
+    let start = ref 0. in
     let rec next () =
+      (* the drain span measures the scan-and-claim work itself, so its
+         start is stamped at the point the scan actually begins — not
+         at function entry, and never inside a hybrid poll window's
+         wait, which would inflate drain spans under load *)
+      start := Sim.Engine.now t.engine;
       match scan () with
       | Some slot ->
           t.scan_cursor <- (slot + 1) mod t.slots;
           t.back_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
             st_in_service;
+          t.service_active.(slot) <- true;
           t.in_service <- t.in_service + 1;
           marshal t;
           let bytes =
@@ -515,15 +664,41 @@ let next_request t : (int * bytes) option =
             ~cat:"stage" ~name:"back:drain" ~start:!start ();
           Some (slot, bytes)
       | None ->
-          (* ring drained: go back to sleep.  No wakeup can be lost —
-             there is no suspension point between the empty scan,
-             clearing [back_active] and blocking, so any publish after
-             this point sees [back_active = false] and sends a
-             doorbell. *)
-          t.back_active <- false;
-          let () = Sim.Mailbox.recv t.req_rx in
-          start := Sim.Engine.now t.engine;
-          if t.dead then None else next ()
+          if hybrid_enabled t && t.back_poll_budget_left > 0. then begin
+            (* hybrid: the ring just went dry, but more work may be a
+               microsecond away.  Stay awake inside a bounded poll
+               window — publishes hand over at polling cost instead of
+               raising an interrupt — and only re-arm doorbells once a
+               whole window passes with nothing arriving (or the
+               episode's dry-poll budget runs out). *)
+            let window =
+              min t.config.Config.hybrid_poll_window_us t.back_poll_budget_left
+            in
+            t.back_polling <- true;
+            m_incr t "hybrid.poll_windows";
+            let t0 = Sim.Engine.now t.engine in
+            let got = Sim.Mailbox.recv_timeout t.req_rx ~timeout:window in
+            t.back_polling <- false;
+            t.back_poll_budget_left <-
+              t.back_poll_budget_left -. (Sim.Engine.now t.engine -. t0);
+            match got with
+            | Some () -> if t.dead then None else next ()
+            | None -> if t.dead then None else sleep ()
+          end
+          else sleep ()
+    and sleep () =
+      (* ring drained (and any poll window dry): go back to sleep.  No
+         wakeup can be lost — there is no suspension point between the
+         empty scan, clearing [back_active] and blocking, so any
+         publish after this point sees [back_active = false] and sends
+         a doorbell; a poll pickup scheduled during the final window is
+         still in flight and lands in the mailbox. *)
+      t.back_active <- false;
+      let () = Sim.Mailbox.recv t.req_rx in
+      (* a real doorbell wakeup starts a fresh hybrid episode *)
+      t.back_poll_budget_left <-
+        (if hybrid_enabled t then t.config.Config.hybrid_poll_budget_us else 0.);
+      if t.dead then None else next ()
     in
     next ()
   end
@@ -537,6 +712,23 @@ let next_request t : (int * bytes) option =
     — or the frontend deadline recovers). *)
 let respond t ~slot (resp_bytes : bytes) =
   if not t.dead then begin
+    if slot < 0 || slot >= t.slots then invalid_arg "Channel.respond";
+    (* A respond must pair with an outstanding claim on the slot.  The
+       authority is the backend-private [service_active] flag — not the
+       control-page state word, which the guest has mapped writable
+       (and which legitimately reads [st_req_ready] again when a
+       timed-out frontend republished its resend into the slot).  A
+       respond with no outstanding claim — a double-complete or a slot
+       never claimed — is a protocol violation: it used to be masked by
+       clamping the in-service count at zero; now it is counted and
+       surfaced as EIO so the caller can score the guest instead of
+       silently corrupting ring accounting. *)
+    if not t.service_active.(slot) then begin
+      t.protocol_violations <- t.protocol_violations + 1;
+      m_incr t "containment.respond_violation";
+      Oskit.Errno.fail Oskit.Errno.EIO "respond: slot not in service"
+    end;
+    t.service_active.(slot) <- false;
     let trace = t.service_trace.(slot) in
     let sp =
       Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Backend ~cat:"stage"
@@ -549,9 +741,30 @@ let respond t ~slot (resp_bytes : bytes) =
     t.back_view.Hypervisor.Shared_page.write ~offset:(slot_off slot) wire;
     t.back_view.Hypervisor.Shared_page.write_u32 ~offset:(state_off slot)
       st_resp_ready;
-    t.in_service <- max 0 (t.in_service - 1);
+    t.in_service <- t.in_service - 1;
     Obs.Trace.span_end t.tracer sp;
-    if not t.resp_irq_pending then begin
+    if
+      t.back_view.Hypervisor.Shared_page.read_u32 ~offset:front_watch_off > 0
+    then begin
+      (* the waiter is poll-watching (hybrid frontend mirror): skip the
+         interrupt, deliver at polling cost.  Coalesces like the
+         interrupt path: one scheduled delivery sweeps every response
+         marked ready since. *)
+      m_incr t "doorbell.resp_suppressed";
+      if not t.resp_poll_pending then begin
+        t.resp_poll_pending <- true;
+        t.resp_poll_deliveries <- t.resp_poll_deliveries + 1;
+        let db_sp =
+          Obs.Trace.span_begin t.tracer ~trace ~lane:Obs.Trace.Transport
+            ~cat:"stage" ~name:"doorbell:resp_poll" ()
+        in
+        poll_handoff t ~receiver:`Front (fun () ->
+            t.resp_poll_pending <- false;
+            Obs.Trace.span_end t.tracer db_sp;
+            deliver_responses t)
+      end
+    end
+    else if not t.resp_irq_pending then begin
       if not (fault_fires t site_drop_resp) then begin
         t.resp_irq_pending <- true;
         m_incr t "doorbell.resp_legs";
@@ -572,13 +785,18 @@ let respond t ~slot (resp_bytes : bytes) =
     "message to the frontend, e.g., when the keyboard is pressed").
     Runs in callback context (no waits): marshal cost is folded into
     the leg. *)
+let notify_mask = 0xffff_ffff
+
 let notify t =
   if not t.dead then begin
     t.notifications <- t.notifications + 1;
     let counter =
       t.back_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off
     in
-    t.back_view.Hypervisor.Shared_page.write_u32 ~offset:notify_off (counter + 1);
+    (* the notify word is a u32 on the wire: wrap explicitly instead of
+       letting the OCaml int grow past what the shared page models *)
+    t.back_view.Hypervisor.Shared_page.write_u32 ~offset:notify_off
+      ((counter + 1) land notify_mask);
     (* Signals collapse: while a notification interrupt is pending, new
        events only bump the counter (like SIGIO, §2.1). *)
     if not t.pending_notify then begin
@@ -589,8 +807,18 @@ let notify t =
     else m_incr t "notify.collapsed"
   end
 
+(** Test hook: preset the raw notification counter (e.g. just below the
+    u32 boundary) as if that many notifications had already been
+    observed, so wrap behaviour can be exercised directly. *)
+let preset_notify_counter t v =
+  let v = v land notify_mask in
+  t.back_view.Hypervisor.Shared_page.write_u32 ~offset:notify_off v;
+  t.notify_seen <- v
+
 (** Frontend: block for the next notification; [None] once the channel
-    is dead (the dispatcher should exit). *)
+    is dead (the dispatcher should exit).  Returns the number of
+    notifications raised since the last observation — the wrap-safe
+    delta of the shared u32 counter, not its raw value. *)
 let next_notification t =
   if t.dead then None
   else
@@ -598,7 +826,12 @@ let next_notification t =
     if t.dead then None
     else begin
       t.pending_notify <- false;
-      Some (t.front_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off)
+      let counter =
+        t.front_view.Hypervisor.Shared_page.read_u32 ~offset:notify_off
+      in
+      let delta = (counter - t.notify_seen) land notify_mask in
+      t.notify_seen <- counter;
+      Some delta
     end
 
 type stats = {
@@ -610,6 +843,9 @@ type stats = {
   timeouts : int;
   retries : int;
   stale_responses : int;
+  protocol_violations : int;
+  req_poll_pickups : int;
+  resp_poll_deliveries : int;
 }
 
 let stats (t : t) : stats =
@@ -622,4 +858,7 @@ let stats (t : t) : stats =
     timeouts = t.timeouts;
     retries = t.retries;
     stale_responses = t.stale_responses;
+    protocol_violations = t.protocol_violations;
+    req_poll_pickups = t.req_poll_pickups;
+    resp_poll_deliveries = t.resp_poll_deliveries;
   }

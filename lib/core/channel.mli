@@ -16,6 +16,24 @@ val create :
 (** Ring depth: how many RPCs may be in flight on this channel. *)
 val ring_slots : t -> int
 
+(** Effective signalling mode, honouring any live override. *)
+val comm_mode : t -> Config.comm_mode
+
+(** Hybrid (NAPI-style) notification currently enabled, honouring any
+    live override: interrupt to wake, bounded ring polling while work
+    keeps arriving, doorbells suppressed meanwhile. *)
+val hybrid_enabled : t -> bool
+
+(** Live mode switch: override the config's signalling mode for this
+    channel from now on (in-flight legs keep the latency they were
+    scheduled with). *)
+val set_comm_mode : t -> Config.comm_mode -> unit
+
+(** Live hybrid switch: enable/disable the poll windows from now on.
+    Disabling lets a backend mid-window finish that window but opens no
+    new one; enabling grants a fresh dry-poll budget immediately. *)
+val set_hybrid : t -> bool -> unit
+
 (** Dispatch weight for {!Chan_pool}: outstanding frontend operations,
     heavily penalised while the backend worker is busy in the driver. *)
 val load : t -> int
@@ -65,16 +83,28 @@ val next_request : t -> (int * bytes) option
 
 (** Complete the descriptor claimed from [slot] (dropped on a dead
     channel); the response interrupt coalesces with any already in
-    flight. *)
+    flight (and is skipped entirely, in favour of a polling-cost
+    handoff, while the frontend waiter is poll-watching).  A respond on
+    a slot that is not in service — double-complete, never claimed, or
+    a guest rewriting the state word — is a counted protocol violation
+    and raises EIO instead of corrupting ring accounting. *)
 val respond : t -> slot:int -> bytes -> unit
 
 (** Backend: asynchronous notification (collapses while pending, like
-    SIGIO).  Safe from engine callbacks. *)
+    SIGIO).  The shared event counter is a u32 and wraps at 2^32.
+    Safe from engine callbacks. *)
 val notify : t -> unit
 
-(** Frontend: block for a notification; returns the event counter, or
-    [None] once the channel is dead. *)
+(** Frontend: block for a notification; returns the number of
+    notifications raised since the last observation (the wrap-safe
+    delta of the shared u32 counter), or [None] once the channel is
+    dead. *)
 val next_notification : t -> int option
+
+(** Test hook: preset the raw u32 notification counter (and the
+    frontend's last-observed value) so wrap behaviour at the 2^32
+    boundary can be exercised directly. *)
+val preset_notify_counter : t -> int -> unit
 
 (** Fault-site keys understood by this module (armed on the
     [Config.injector]); all act at doorbell-leg granularity. *)
@@ -93,6 +123,9 @@ type stats = {
   timeouts : int;
   retries : int;
   stale_responses : int;  (** late answers to timed-out attempts, discarded *)
+  protocol_violations : int;  (** responds on slots not in service *)
+  req_poll_pickups : int;  (** hybrid request handoffs at polling cost *)
+  resp_poll_deliveries : int;  (** hybrid response handoffs at polling cost *)
 }
 
 val stats : t -> stats

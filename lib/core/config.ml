@@ -26,6 +26,16 @@ type t = {
   polling_latency_us : float; (* one shared-page handoff under polling *)
   marshal_us : float; (* serialise/deserialise one message *)
   poll_window_us : float; (* spin window before sleeping (§5.1) *)
+  hybrid : bool; (* NAPI-style adaptive notification: an interrupt wakes
+                     each side, which then polls the ring while work
+                     keeps arriving, suppressing further doorbells until
+                     the poll window drains dry *)
+  hybrid_poll_window_us : float; (* how long a dry hybrid poll waits for
+                                     more work before re-arming doorbells
+                                     and sleeping *)
+  hybrid_poll_budget_us : float; (* cap on cumulative dry polling per
+                                     wakeup episode, so a trickle load
+                                     cannot pin a CPU indefinitely *)
   cold_threshold_us : float; (* channel idle longer than this = cold *)
   cold_extra_interrupt_us : float; (* per-leg surcharge, cold, interrupts *)
   cold_extra_polling_us : float; (* per-leg surcharge, cold, polling *)
@@ -109,6 +119,9 @@ let default =
     polling_latency_us = 0.9;
     marshal_us = 0.1;
     poll_window_us = 200.;
+    hybrid = false;
+    hybrid_poll_window_us = 20.;
+    hybrid_poll_budget_us = 200.;
     cold_threshold_us = 1_000.;
     cold_extra_interrupt_us = 103.2;
     cold_extra_polling_us = 60.7;
@@ -147,6 +160,11 @@ let default =
 
 let polling = { default with comm_mode = Polling }
 
+(** Hybrid notification: interrupts to wake an idle side, bounded
+    polling while the ring stays busy.  Steady-state cost approaches
+    the polling figure without a dedicated polling CPU per channel. *)
+let hybrid = { default with hybrid = true }
+
 let with_data_isolation t = { t with data_isolation = true }
 
 (** The DSM-based cross-machine configuration sketched in Â§8's future
@@ -175,4 +193,8 @@ let cold_extra t =
   | Polling -> t.cold_extra_polling_us
 
 let mode_name t =
-  match t.comm_mode with Interrupts -> "interrupts" | Polling -> "polling"
+  match (t.comm_mode, t.hybrid) with
+  | Interrupts, false -> "interrupts"
+  | Interrupts, true -> "hybrid"
+  | Polling, false -> "polling"
+  | Polling, true -> "polling+hybrid"

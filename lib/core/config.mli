@@ -13,6 +13,13 @@ type t = {
   polling_latency_us : float;
   marshal_us : float;
   poll_window_us : float;
+  hybrid : bool;
+      (** NAPI-style adaptive notification: interrupt to wake, poll
+          while work keeps arriving, doorbells suppressed meanwhile *)
+  hybrid_poll_window_us : float;
+      (** dry-poll wait for more work before re-arming doorbells *)
+  hybrid_poll_budget_us : float;
+      (** cumulative dry-polling cap per wakeup episode *)
   cold_threshold_us : float;
   cold_extra_interrupt_us : float;
   cold_extra_polling_us : float;
@@ -62,6 +69,9 @@ type t = {
 
 val default : t
 val polling : t
+
+(** Interrupt wake + bounded ring polling ({!field-hybrid} on). *)
+val hybrid : t
 val with_data_isolation : t -> t
 
 (** §8's cross-machine DSM transport (future work), modelled as a

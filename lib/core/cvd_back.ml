@@ -181,10 +181,44 @@ let find_file link vfd =
    used across workers. *)
 let wrap f = try Proto.Rok (f ()) with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e)
 
-let dispatch t link worker (req : Proto.request) : Proto.response =
+let rec dispatch t link worker (req : Proto.request) : Proto.response =
   let kernel = t.kernel in
   match req with
   | Proto.Rnoop -> Proto.Rok 0
+  | Proto.Rbatch reqs ->
+      (* io_uring-style multi-op descriptor: execute the sub-ops
+         sequentially, each inside its own trace span (cat "subop" —
+         not "stage", so the stage-tiling reconciliation over the op
+         span is untouched), and return one sub-response per sub-op in
+         submission order.  A failing sub-op does not abort the batch:
+         its reply slot carries the errno, like an io_uring CQE.
+         [Proto.validate] has already vetted every sub-op through the
+         same gate as a singleton. *)
+      let tracer = t.config.Config.tracer in
+      let trace =
+        match worker.Defs.remote with Some rc -> rc.Defs.rc_trace | None -> 0
+      in
+      let serve_sub i sub =
+        let sp =
+          Obs.Trace.span_begin tracer ~trace ~lane:Obs.Trace.Backend
+            ~cat:"subop"
+            ~name:(Printf.sprintf "subop:%s" (Proto.request_name sub))
+            ()
+        in
+        Obs.Trace.span_arg sp "index" (float_of_int i);
+        let resp =
+          match sub with
+          | Proto.Rbatch _ ->
+              (* unreachable past validate; never recurse *)
+              Proto.Rerr (Errno.to_code Errno.EINVAL)
+          | _ -> (
+              try dispatch t link worker sub
+              with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e))
+        in
+        Obs.Trace.span_end tracer sp;
+        resp
+      in
+      Proto.Rbatch_reply (List.mapi serve_sub reqs)
   | Proto.Ropen { path } ->
       if Hashtbl.length link.files >= t.config.Config.max_open_vfds then begin
         (* per-guest descriptor cap: an open loop exhausts the guest's
@@ -522,8 +556,16 @@ let connect t ~guest_vm =
                    on_fire hooks (armed by Machine) perform the actual
                    kill before we notice [killed] below. *)
                 if fires site_crash then ignore resp
-                else if not t.killed then
-                  Channel.respond channel ~slot (Proto.encode_response resp);
+                else if not t.killed then begin
+                  (* A respond on a slot no longer in service is a
+                     counted protocol violation (only a guest rewriting
+                     the control page under the backend's feet can
+                     cause it): score the guest and drop the response
+                     instead of letting the EIO kill the worker. *)
+                  try Channel.respond channel ~slot (Proto.encode_response resp)
+                  with Errno.Unix_error (Errno.EIO, _) ->
+                    note_misbehavior t link worker score_rejected
+                end;
                 loop ()
           in
           loop ()))

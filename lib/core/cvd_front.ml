@@ -350,6 +350,25 @@ let int_result = function
   | Proto.Rok v -> v
   | Proto.Rerr code -> Errno.fail (errno_of_code code) "remote operation failed"
   | Proto.Rpoll_reply _ -> Errno.fail Errno.EIO "unexpected poll reply"
+  | Proto.Rbatch_reply _ -> Errno.fail Errno.EIO "unexpected batch reply"
+
+(** Forward an io_uring-style multi-op batch: every request rides one
+    ring slot / one doorbell and is executed sequentially by the
+    backend.  Returns one response per sub-op, in submission order (a
+    failing sub-op occupies its reply slot as [Rerr]; it does not abort
+    the batch).  Only small fixed-size data-path operations are
+    batchable — see {!Proto.Rbatch}.  [ops] declares the grants every
+    sub-op may touch, under one grant_ref, exactly as for a singleton
+    forward. *)
+let forward_batch t (task : Defs.task) ~ops reqs : Proto.response list =
+  match forward t task ~ops (Proto.Rbatch reqs) with
+  | Proto.Rbatch_reply subs ->
+      if List.length subs <> List.length reqs then
+        Errno.fail Errno.EIO "batch reply arity mismatch"
+      else subs
+  | Proto.Rerr code -> Errno.fail (errno_of_code code) "remote batch failed"
+  | Proto.Rok _ | Proto.Rpoll_reply _ ->
+      Errno.fail Errno.EIO "unexpected batch reply shape"
 
 let vfd_of t (file : Defs.file) =
   match Hashtbl.find_opt t.stale_vfds file.Defs.file_id with
@@ -360,6 +379,22 @@ let vfd_of t (file : Defs.file) =
       match Hashtbl.find_opt t.vfds file.Defs.file_id with
       | Some vfd -> vfd
       | None -> Errno.fail Errno.EINVAL "virtual file has no backend descriptor")
+
+(** Convenience over {!forward_batch}: issue [cmds] (pointer-free
+    ioctls such as netmap txsync or the no-op probe) on one open file
+    as a single multi-op descriptor.  Returns the per-sub-op int
+    results in submission order; the first failing sub-op raises its
+    errno. *)
+let batch_ioctl t task file cmds =
+  let vfd = vfd_of t file in
+  let reqs = List.map (fun (cmd, arg) -> Proto.Rioctl { vfd; cmd; arg }) cmds in
+  forward_batch t task ~ops:[] reqs
+  |> List.map (function
+       | Proto.Rok v -> v
+       | Proto.Rerr code ->
+           Errno.fail (errno_of_code code) "batched ioctl sub-op failed"
+       | Proto.Rpoll_reply _ | Proto.Rbatch_reply _ ->
+           Errno.fail Errno.EIO "batched ioctl: unexpected sub-op reply")
 
 (** Where a guest file stands with respect to its backend session. *)
 type file_status =
@@ -489,11 +524,22 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
              until an event the caller asked about is ready, so the
              guest pays one forwarded operation per ready poll syscall,
              as the netmap batching analysis assumes (§6.1.2).  Between
-             not-ready chunks the guest sleeps [poll_forward_backoff_us]
-             — a never-ready device must not turn this loop into a
-             back-to-back RPC spin that starves the ring. *)
+             not-ready chunks the guest backs off adaptively: under
+             hybrid notification it starts at the hybrid poll window
+             (sleeping the full fixed backoff would double-pay the
+             wakeup the window just saved), doubling on each not-ready
+             chunk up to [poll_forward_backoff_us] — the spin bound
+             that keeps a never-ready device from starving the ring.
+             With hybrid off the backoff is the old constant from the
+             first chunk, unchanged. *)
           let vfd = vfd_of t file in
-          let rec ask () =
+          let cap = t.config.Config.poll_forward_backoff_us in
+          let initial =
+            if t.config.Config.hybrid then
+              Float.min t.config.Config.hybrid_poll_window_us cap
+            else cap
+          in
+          let rec ask backoff =
             match
               forward t task ~ops:[]
                 (Proto.Rpoll
@@ -508,15 +554,14 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
                 if (want_in && pollin) || (want_out && pollout) then
                   { Defs.pollin; pollout; poll_wq = None }
                 else begin
-                  if t.config.Config.poll_forward_backoff_us > 0. then
-                    Sim.Engine.wait t.config.Config.poll_forward_backoff_us;
-                  ask ()
+                  if backoff > 0. then Sim.Engine.wait backoff;
+                  ask (if backoff <= 0. then cap else Float.min (backoff *. 2.) cap)
                 end
             | other ->
                 ignore (int_result other);
                 Defs.no_poll
           in
-          ask ());
+          ask initial);
       fop_fasync =
         (fun task file ~on ->
           (* mutate the notification list only once the backend has
@@ -530,7 +575,8 @@ let export t ~path ~cls ~driver ?(exclusive = false) ?entries ~kinds () =
                   t.fasync_files <- file :: t.fasync_files
               end
               else t.fasync_files <- List.filter (fun f -> f != file) t.fasync_files
-          | (Proto.Rerr _ | Proto.Rpoll_reply _) as resp ->
+          | (Proto.Rerr _ | Proto.Rpoll_reply _ | Proto.Rbatch_reply _) as resp
+            ->
               ignore (remote_fail resp));
     }
   in

@@ -82,6 +82,29 @@ val suspend_watchdog : t -> unit
 
 val resume_watchdog : t -> unit
 
+(** Forward an io_uring-style multi-op batch ({!Proto.Rbatch}): every
+    request rides one ring slot / one doorbell and executes
+    sequentially on the backend.  Returns one response per sub-op in
+    submission order; a failing sub-op carries its errno in its reply
+    slot without aborting the batch.  [ops] declares the grants the
+    sub-ops may touch (one grant_ref for the whole batch).  Raises as
+    {!Oskit.Errno.Unix_error} when the batch itself is rejected
+    (malformed, sanitization, transport death). *)
+val forward_batch :
+  t ->
+  Oskit.Defs.task ->
+  ops:Hypervisor.Grant_table.op list ->
+  Proto.request list ->
+  Proto.response list
+
+(** Convenience over {!forward_batch}: issue [cmds] — pointer-free
+    [(cmd, arg)] ioctls such as netmap txsync or the no-op probe — on
+    one open guest file as a single multi-op descriptor.  Returns the
+    per-sub-op int results in submission order; the first failing
+    sub-op raises its errno. *)
+val batch_ioctl :
+  t -> Oskit.Defs.task -> Oskit.Defs.file -> (int * int64) list -> int list
+
 (** Create the virtual device file for an exported device.  [entries]
     is the analyzer's table for ioctl-heavy classes; [kinds] must all
     be supported by the guest kernel's flavor. *)

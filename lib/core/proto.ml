@@ -17,13 +17,27 @@ type request =
   | Rpoll of { vfd : int; want_in : bool; want_out : bool; timeout_us : float }
   | Rfasync of { vfd : int; on : bool }
   | Rnoop (* the §6.1.1 latency microbenchmark *)
+  | Rbatch of request list
+      (* io_uring-style multi-op descriptor: one ring slot / one
+         doorbell carries a length-prefixed batch of small file ops
+         (evdev reads, PCM periods, netmap syncs).  Only fixed-size
+         data-path operations may ride in a batch — memory-layout ops
+         (open/mmap/fault/munmap) stay singletons — and batches do not
+         nest. *)
 
 type response =
   | Rok of int
   | Rerr of int (* positive errno code *)
   | Rpoll_reply of { pollin : bool; pollout : bool }
+  | Rbatch_reply of response list
+      (* one sub-response per sub-op, in submission order *)
 
 let slot_size = 1024
+
+(* Batch geometry: the multi-op payload must stay below the trace word
+   at 1004, and each sub-op record is at most 28 bytes, so 32 sub-ops
+   fit with headroom. *)
+let max_batch_ops = 32
 
 (* ---- encoding ---- *)
 
@@ -56,10 +70,50 @@ let trace_off = 1004
 let set_trace b id = w32 b trace_off id
 let get_trace b = r32 b trace_off
 
+exception Batch_overflow
+
+(* One length-prefixed sub-op record: [u32 record len][u32 tag =
+   opcode][u32 vfd][op payload].  Returns the offset just past the
+   record.  Only the small fixed-size data-path operations are
+   batchable. *)
+let encode_subop b off req =
+  let record tag vfd payload_len fill =
+    let len = 12 + payload_len in
+    if off + len > trace_off then raise Batch_overflow;
+    w32 b off len;
+    w32 b (off + 4) tag;
+    w32 b (off + 8) vfd;
+    fill (off + 12);
+    off + len
+  in
+  match req with
+  | Rrelease { vfd } -> record 2 vfd 0 (fun _ -> ())
+  | Rread { vfd; buf; len } ->
+      record 3 vfd 16 (fun p ->
+          w64 b p buf;
+          w64 b (p + 8) len)
+  | Rwrite { vfd; buf; len } ->
+      record 4 vfd 16 (fun p ->
+          w64 b p buf;
+          w64 b (p + 8) len)
+  | Rioctl { vfd; cmd; arg } ->
+      record 5 vfd 16 (fun p ->
+          w64 b p cmd;
+          Bytes.set_int64_le b (p + 8) arg)
+  | Rpoll { vfd; want_in; want_out; timeout_us } ->
+      record 9 vfd 16 (fun p ->
+          w32 b p (if want_in then 1 else 0);
+          w32 b (p + 4) (if want_out then 1 else 0);
+          Bytes.set_int64_le b (p + 8) (Int64.bits_of_float timeout_us))
+  | Rfasync { vfd; on } -> record 10 vfd 4 (fun p -> w32 b p (if on then 1 else 0))
+  | Rnoop -> record 11 0 0 (fun _ -> ())
+  | Ropen _ | Rmmap _ | Rfault _ | Rmunmap _ | Rbatch _ ->
+      invalid_arg "Proto.encode_subop: operation not batchable"
+
 let encode_request ~grant_ref ~pid req =
   let b = Bytes.make slot_size '\000' in
   let vfd_of = function
-    | Ropen _ | Rnoop -> 0
+    | Ropen _ | Rnoop | Rbatch _ -> 0
     | Rrelease { vfd } | Rread { vfd; _ } | Rwrite { vfd; _ } | Rioctl { vfd; _ }
     | Rmmap { vfd; _ } | Rfault { vfd; _ } | Rmunmap { vfd; _ } | Rpoll { vfd; _ }
     | Rfasync { vfd; _ } ->
@@ -106,7 +160,15 @@ let encode_request ~grant_ref ~pid req =
   | Rfasync { on; _ } ->
       w32 b 0 10;
       w32 b 16 (if on then 1 else 0)
-  | Rnoop -> w32 b 0 11);
+  | Rnoop -> w32 b 0 11
+  | Rbatch reqs ->
+      let n = List.length reqs in
+      if n < 1 || n > max_batch_ops then
+        invalid_arg "Proto.encode_request: batch size out of range";
+      w32 b 0 12;
+      w32 b 12 n;
+      let off = ref 16 in
+      List.iter (fun sub -> off := encode_subop b !off sub) reqs);
   b
 
 exception Malformed of string
@@ -140,6 +202,64 @@ let decode_request b =
         Rpoll { vfd; want_in = r32 b 16 <> 0; want_out = r32 b 20 <> 0; timeout_us }
     | 10 -> Rfasync { vfd; on = r32 b 16 <> 0 }
     | 11 -> Rnoop
+    | 12 ->
+        let count = r32 b 12 in
+        if count < 1 || count > max_batch_ops then
+          raise (Malformed "batch count");
+        let decode_subop off =
+          if off + 12 > trace_off then raise (Malformed "batch record header");
+          let len = r32 b off in
+          if len < 12 || off + len > trace_off then
+            raise (Malformed "batch record length");
+          let tag = r32 b (off + 4) in
+          let vfd = r32 b (off + 8) in
+          let payload p need =
+            if len < 12 + need then raise (Malformed "batch record payload");
+            p
+          in
+          let sub =
+            match tag with
+            | 2 -> Rrelease { vfd }
+            | 3 ->
+                let p = payload (off + 12) 16 in
+                Rread { vfd; buf = r64 b p; len = r64 b (p + 8) }
+            | 4 ->
+                let p = payload (off + 12) 16 in
+                Rwrite { vfd; buf = r64 b p; len = r64 b (p + 8) }
+            | 5 ->
+                let p = payload (off + 12) 16 in
+                Rioctl { vfd; cmd = r64 b p; arg = Bytes.get_int64_le b (p + 8) }
+            | 9 ->
+                let p = payload (off + 12) 16 in
+                let timeout_us =
+                  Int64.float_of_bits (Bytes.get_int64_le b (p + 8))
+                in
+                if
+                  Float.is_nan timeout_us || timeout_us < 0.
+                  || timeout_us = infinity
+                then raise (Malformed "batch poll timeout");
+                Rpoll
+                  {
+                    vfd;
+                    want_in = r32 b p <> 0;
+                    want_out = r32 b (p + 4) <> 0;
+                    timeout_us;
+                  }
+            | 10 ->
+                let p = payload (off + 12) 4 in
+                Rfasync { vfd; on = r32 b p <> 0 }
+            | 11 -> Rnoop
+            | n -> raise (Malformed (Printf.sprintf "batch sub-op tag %d" n))
+          in
+          (sub, off + len)
+        in
+        let rec go off i acc =
+          if i = count then List.rev acc
+          else
+            let sub, off = decode_subop off in
+            go off (i + 1) (sub :: acc)
+        in
+        Rbatch (go 16 0 [])
     | n -> raise (Malformed (Printf.sprintf "opcode %d" n))
   in
   (req, grant_ref, pid)
@@ -179,7 +299,7 @@ let valid_path path =
 let check_vfd vfd k =
   if vfd < 0 || vfd > max_vfd then violation "vfd" "out of range" else k ()
 
-let validate ~max_transfer_bytes ~poll_timeout_cap_us ~grant_capacity
+let rec validate ~max_transfer_bytes ~poll_timeout_cap_us ~grant_capacity
     ((req : request), grant_ref, pid) : (request, violation) result =
   if grant_ref < 0 || grant_ref >= grant_capacity then
     violation "grant_ref" "outside grant table"
@@ -230,9 +350,58 @@ let validate ~max_transfer_bytes ~poll_timeout_cap_us ~grant_capacity
               Ok (Rpoll { p with timeout_us = poll_timeout_cap_us })
             else Ok req)
     | Rfasync { vfd; _ } -> check_vfd vfd (fun () -> Ok req)
+    | Rbatch reqs ->
+        (* every sub-op passes through the same gate as a singleton
+           (with the batch's grant_ref and pid); the first offending
+           sub-op fails the whole batch, named by its index *)
+        let n = List.length reqs in
+        if n < 1 || n > max_batch_ops then
+          violation "batch" "count out of range"
+        else
+          let rec go i acc = function
+            | [] -> Ok (Rbatch (List.rev acc))
+            | sub :: rest -> (
+                match sub with
+                | Ropen _ | Rmmap _ | Rfault _ | Rmunmap _ | Rbatch _ ->
+                    violation
+                      (Printf.sprintf "batch[%d]" i)
+                      "operation not batchable"
+                | _ -> (
+                    match
+                      validate ~max_transfer_bytes ~poll_timeout_cap_us
+                        ~grant_capacity (sub, grant_ref, pid)
+                    with
+                    | Ok sub -> go (i + 1) (sub :: acc) rest
+                    | Error { field; detail } ->
+                        Error
+                          {
+                            field = Printf.sprintf "batch[%d].%s" i field;
+                            detail;
+                          }))
+          in
+          go 0 [] reqs
 
 let encode_response resp =
   let b = Bytes.make slot_size '\000' in
+  (* one length-prefixed sub-response record: [u32 len][u32 tag][payload] *)
+  let encode_subresp off sub =
+    let record tag payload_len fill =
+      let len = 8 + payload_len in
+      if off + len > trace_off then raise Batch_overflow;
+      w32 b off len;
+      w32 b (off + 4) tag;
+      fill (off + 8);
+      off + len
+    in
+    match sub with
+    | Rok v -> record 1 8 (fun p -> w64 b p v)
+    | Rerr code -> record 2 4 (fun p -> w32 b p code)
+    | Rpoll_reply { pollin; pollout } ->
+        record 3 8 (fun p ->
+            w32 b p (if pollin then 1 else 0);
+            w32 b (p + 4) (if pollout then 1 else 0))
+    | Rbatch_reply _ -> invalid_arg "Proto.encode_response: nested batch reply"
+  in
   (match resp with
   | Rok v ->
       w32 b 0 1;
@@ -243,7 +412,15 @@ let encode_response resp =
   | Rpoll_reply { pollin; pollout } ->
       w32 b 0 3;
       w32 b 8 (if pollin then 1 else 0);
-      w32 b 12 (if pollout then 1 else 0));
+      w32 b 12 (if pollout then 1 else 0)
+  | Rbatch_reply subs ->
+      let n = List.length subs in
+      if n < 1 || n > max_batch_ops then
+        invalid_arg "Proto.encode_response: batch size out of range";
+      w32 b 0 4;
+      w32 b 8 n;
+      let off = ref 16 in
+      List.iter (fun sub -> off := encode_subresp !off sub) subs);
   b
 
 let decode_response b =
@@ -251,6 +428,41 @@ let decode_response b =
   | 1 -> Rok (r64 b 8)
   | 2 -> Rerr (r32 b 8)
   | 3 -> Rpoll_reply { pollin = r32 b 8 <> 0; pollout = r32 b 12 <> 0 }
+  | 4 ->
+      let count = r32 b 8 in
+      if count < 1 || count > max_batch_ops then
+        raise (Malformed "batch reply count");
+      let decode_subresp off =
+        if off + 8 > trace_off then raise (Malformed "batch reply header");
+        let len = r32 b off in
+        if len < 8 || off + len > trace_off then
+          raise (Malformed "batch reply length");
+        let sub =
+          match r32 b (off + 4) with
+          | 1 ->
+              if len < 16 then raise (Malformed "batch reply payload");
+              Rok (r64 b (off + 8))
+          | 2 ->
+              if len < 12 then raise (Malformed "batch reply payload");
+              Rerr (r32 b (off + 8))
+          | 3 ->
+              if len < 16 then raise (Malformed "batch reply payload");
+              Rpoll_reply
+                {
+                  pollin = r32 b (off + 8) <> 0;
+                  pollout = r32 b (off + 12) <> 0;
+                }
+          | n -> raise (Malformed (Printf.sprintf "batch reply tag %d" n))
+        in
+        (sub, off + len)
+      in
+      let rec go off i acc =
+        if i = count then List.rev acc
+        else
+          let sub, off = decode_subresp off in
+          go off (i + 1) (sub :: acc)
+      in
+      Rbatch_reply (go 16 0 [])
   | n -> raise (Malformed (Printf.sprintf "response tag %d" n))
 
 let op_kind_of_request = function
@@ -265,6 +477,7 @@ let op_kind_of_request = function
   | Rpoll _ -> Oskit.Os_flavor.Poll
   | Rfasync _ -> Oskit.Os_flavor.Fasync
   | Rnoop -> Oskit.Os_flavor.Ioctl
+  | Rbatch _ -> Oskit.Os_flavor.Ioctl
 
 let request_name = function
   | Ropen _ -> "open"
@@ -278,3 +491,4 @@ let request_name = function
   | Rpoll _ -> "poll"
   | Rfasync _ -> "fasync"
   | Rnoop -> "noop"
+  | Rbatch reqs -> Printf.sprintf "batch(%d)" (List.length reqs)

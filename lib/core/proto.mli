@@ -13,13 +13,25 @@ type request =
   | Rpoll of { vfd : int; want_in : bool; want_out : bool; timeout_us : float }
   | Rfasync of { vfd : int; on : bool }
   | Rnoop (** the §6.1.1 latency microbenchmark *)
+  | Rbatch of request list
+      (** io_uring-style multi-op descriptor: one ring slot / one
+          doorbell carries a length-prefixed batch of small file ops.
+          Only fixed-size data-path operations (release / read / write /
+          ioctl / poll / fasync / noop) are batchable; batches do not
+          nest. *)
 
 type response =
   | Rok of int
   | Rerr of int (** positive errno code *)
   | Rpoll_reply of { pollin : bool; pollout : bool }
+  | Rbatch_reply of response list
+      (** one sub-response per sub-op, in submission order *)
 
 val slot_size : int
+
+(** Most sub-ops one {!Rbatch} descriptor can carry (wire-format
+    bound: the batch payload stays below the trace word). *)
+val max_batch_ops : int
 
 (** Transport sequence number, stamped into a descriptor by the
     channel at publish time and echoed back in the response so a late

@@ -69,6 +69,12 @@ let create ?(delivery_latency_us = 0.) kernel ~name =
 
 let read_latencies t = t.read_latencies
 
+(** Events queued but not yet read.  A batching frontend sizes one
+    multi-op read descriptor to drain exactly this backlog. *)
+let pending_events t = Queue.length t.queue
+
+let dropped_events t = t.dropped
+
 (** Hardware-side event injection (called by the mouse/keyboard models
     below).  The event reaches the evdev queue after the configured
     delivery latency; the latency probe starts at the {e physical}

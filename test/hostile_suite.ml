@@ -184,6 +184,12 @@ let fuzz_seed seed =
         | P.Rpoll_reply _ ->
             totals.served <- totals.served + 1;
             totals.poll_replies <- totals.poll_replies + 1
+        | P.Rbatch_reply _ ->
+            (* a mutated descriptor that happens to be a well-formed
+               multi-op batch: every sub-op went through the same
+               validate gate, so this is a served descriptor too *)
+            totals.served <- totals.served + 1;
+            totals.ok <- totals.ok + 1
         | exception e ->
             totals.escapes <- totals.escapes + 1;
             violation "seed=%#Lx desc=%d: exception escaped serve_one: %s" seed

@@ -245,8 +245,9 @@ let test_dropped_response_leg_recovered () =
 
 let test_notify_single_leg_and_kill () =
   (* M rapid notifications while the interrupt is pending must deliver
-     exactly one leg; the consumer then observes the full counter.
-     After kill ~poison:true a blocked consumer wakes to None. *)
+     exactly one leg; the consumer then observes the wrap-safe delta
+     since its last observation.  After kill ~poison:true a blocked
+     consumer wakes to None. *)
   let m, g = boot_null () in
   let ch = raw_channel (m, g) in
   let eng = M.engine m in
@@ -261,7 +262,7 @@ let test_notify_single_leg_and_kill () =
         | None -> ended := true
       in
       loop ());
-  (* burst of 7 in one callback: one interrupt leg, counter 7 *)
+  (* burst of 7 in one callback: one interrupt leg, delta 7 *)
   Sim.Engine.at eng ~delay:10. (fun () ->
       for _ = 1 to 7 do
         Ch.notify ch
@@ -273,7 +274,8 @@ let test_notify_single_leg_and_kill () =
       done);
   Sim.Engine.at eng ~delay:8_000. (fun () -> Ch.kill ~poison:true ch);
   Sim.Engine.run eng;
-  Alcotest.(check (list int)) "counters observed (newest first)" [ 10; 7 ] !observed;
+  Alcotest.(check (list int))
+    "notification deltas observed (newest first)" [ 3; 7 ] !observed;
   Alcotest.(check bool) "consumer saw the death" true !ended;
   let s = Ch.stats ch in
   Alcotest.(check int) "10 events counted" 10 s.Ch.notifications;

@@ -34,6 +34,7 @@ let check_rerr name expect = function
   | P.Rerr code -> Alcotest.(check string) name expect (errname code)
   | P.Rok v -> Alcotest.failf "%s: unexpected Rok %d" name v
   | P.Rpoll_reply _ -> Alcotest.failf "%s: unexpected poll reply" name
+  | P.Rbatch_reply _ -> Alcotest.failf "%s: unexpected batch reply" name
 
 (* ---- Proto.validate / decode hardening ---- *)
 
