@@ -1786,3 +1786,203 @@ let notify () =
           (Printf.sprintf "notify: %s trace tiling gap %.3f us" name
              r.Obs.Trace.r_max_gap_us))
     reconcile_rows
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-scale sharded execution (ROADMAP item 1)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Hundreds of guest links served by a fleet of independent driver-VM
+   shards running on parallel OCaml domains (Paradice.Fleet).  Shards
+   share no simulated state, so fixed seeds give bit-identical
+   per-shard simulated-time results whatever the domain count — the
+   determinism gate — while wall-clock aggregate throughput scales
+   with shards.  Tail latency (p99/p999) is aggregated across shards
+   by exact histogram pooling (Sim.Stats.merge / Obs.Metrics.merge),
+   and a Zipf-skewed offered load checks that per-guest isolation
+   (rings + caps, §5.1) keeps the fleet fair. *)
+
+let fleet () =
+  let module FL = Workloads.Fleet_load in
+  let module F = Paradice.Fleet in
+  Report.heading "Fleet — sharded execution: scaling, tail latency, fairness";
+  let seed = 0xF1EE7L in
+  let guests = max 208 (scaled 256) in (* >= 200 links even under --quick *)
+  let base_ops = scaled 40 in
+  let cores = Domain.recommended_domain_count () in
+  let uniform = FL.uniform_ops ~guests ~base:base_ops in
+  Report.note "%d guest links, %d ops/guest, %d cores available" guests
+    base_ops cores;
+
+  (* -- wall-clock scaling: same offered load, more shards -- *)
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let timed_run ?domains specs =
+    let t0 = Unix.gettimeofday () in
+    let results = FL.run_fleet ?domains specs in
+    (results, Unix.gettimeofday () -. t0)
+  in
+  let scaling =
+    List.map
+      (fun shards ->
+        let specs = FL.make_specs ~shards ~seed ~ops:uniform () in
+        let domains = max 1 (min shards cores) in
+        let results, wall = timed_run ~domains specs in
+        let ok = Array.fold_left (fun a r -> a + r.FL.r_ok) 0 results in
+        let err = Array.fold_left (fun a r -> a + r.FL.r_err) 0 results in
+        let merged =
+          Sim.Stats.merge "fleet"
+            (List.map (fun g -> g.FL.g_lat) (FL.all_guests results))
+        in
+        (shards, domains, results, wall, ok, err, merged))
+      shard_counts
+  in
+  Report.table
+    ~header:
+      [ "shards"; "domains"; "wall s"; "ops/s"; "p50 us"; "p99 us"; "p999 us"; "errs" ]
+    (List.map
+       (fun (shards, domains, _, wall, ok, err, merged) ->
+         [
+           string_of_int shards; string_of_int domains; Report.f2 wall;
+           Report.f1 (float_of_int ok /. wall);
+           Report.f1 (Sim.Stats.median merged);
+           Report.f1 (Sim.Stats.p99 merged);
+           Report.f1 (Sim.Stats.p999 merged);
+           string_of_int err;
+         ])
+       scaling);
+  let wall_of n =
+    let _, _, _, w, _, _, _ = List.find (fun (s, _, _, _, _, _, _) -> s = n) scaling in
+    w
+  in
+  let speedup_4 = wall_of 1 /. wall_of 4 in
+  Report.note "1 -> 4 shard wall-clock speedup: %.2fx (gate >= 3x needs >= 4 cores)"
+    speedup_4;
+
+  (* -- determinism: 4 shards on 1 domain vs all cores -- *)
+  let specs4 = FL.make_specs ~shards:4 ~seed ~ops:uniform () in
+  let seq4, _ = timed_run ~domains:1 specs4 in
+  let _, _, par4, _, _, _, _ =
+    List.find (fun (s, _, _, _, _, _, _) -> s = 4) scaling
+  in
+  let fingerprint (r : FL.result) =
+    (r.FL.r_shard, r.FL.r_ok, r.FL.r_err, r.FL.r_digest, r.FL.r_sim_end_us)
+  in
+  let deterministic =
+    Array.for_all2 (fun a b -> fingerprint a = fingerprint b) seq4 par4
+  in
+  Report.note "1-domain vs %d-domain per-shard results: %s"
+    (max 1 (min 4 cores))
+    (if deterministic then "bit-identical" else "DIVERGED");
+
+  (* -- per-shard metric namespaces -> one fleet registry -- *)
+  let agg = Obs.Metrics.create () in
+  Array.iter
+    (fun (r : FL.result) ->
+      Obs.Metrics.merge ~into:agg
+        ~prefix:(Printf.sprintf "shard%d." r.FL.r_shard)
+        r.FL.r_metrics;
+      Obs.Metrics.merge ~into:agg r.FL.r_metrics)
+    par4;
+  Report.note "merged metrics: fleet ops_ok=%d (shard0 ops_ok=%d)"
+    (Obs.Metrics.count agg "fleet.ops_ok")
+    (Obs.Metrics.count agg "shard0.fleet.ops_ok");
+
+  (* -- fairness under Zipf-skewed offered load (4 shards) -- *)
+  let zipf = FL.zipf_ops ~guests ~base:base_ops ~alpha:1.0 in
+  let zres, _ = timed_run (FL.make_specs ~shards:4 ~seed ~ops:zipf ()) in
+  let fairness = FL.fairness zres in
+  let zerr = Array.fold_left (fun a r -> a + r.FL.r_err) 0 zres in
+  Report.note
+    "zipf(1.0) offered load: per-guest mean-latency spread %.2fx (1.0 = fair)"
+    fairness;
+
+  (* -- dispatch: least-loaded scan vs power-of-two-choices -- *)
+  let wide c = { c with Paradice.Config.channels_per_guest = 16 } in
+  let dispatch_cfg d = { (wide Paradice.Config.default) with Paradice.Config.dispatch = d } in
+  let run_dispatch d =
+    let specs =
+      FL.make_specs ~shards:4 ~seed ~ops:uniform ~config:(dispatch_cfg d) ()
+    in
+    let results, wall = timed_run specs in
+    let merged =
+      Sim.Stats.merge "lat" (List.map (fun g -> g.FL.g_lat) (FL.all_guests results))
+    in
+    let err = Array.fold_left (fun a r -> a + r.FL.r_err) 0 results in
+    (wall, Sim.Stats.p99 merged, err)
+  in
+  let ll_wall, ll_p99, ll_err = run_dispatch Paradice.Config.Least_loaded in
+  let p2c_wall, p2c_p99, p2c_err = run_dispatch Paradice.Config.Two_choices in
+  Report.table
+    ~header:[ "dispatch (16 rings/guest)"; "wall s"; "p99 us"; "errs" ]
+    [
+      [ "least-loaded scan"; Report.f2 ll_wall; Report.f1 ll_p99; string_of_int ll_err ];
+      [ "two-choices"; Report.f2 p2c_wall; Report.f1 p2c_p99; string_of_int p2c_err ];
+    ];
+  Report.note "two-choices probes 2 rings per op instead of scanning all 16";
+
+  (* -- CI artifact -- *)
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc
+    {|{
+  "experiment": "fleet",
+  "scale": %g,
+  "cores": %d,
+  "guests": %d,
+  "ops_per_guest": %d,
+  "scaling": [
+%s
+  ],
+  "speedup_1_to_4": %.3f,
+  "deterministic_across_domains": %b,
+  "zipf_fairness": %.3f,
+  "zipf_errors": %d,
+  "dispatch": {
+    "least_loaded": {"wall_s": %.3f, "p99_us": %.3f, "errors": %d},
+    "two_choices": {"wall_s": %.3f, "p99_us": %.3f, "errors": %d}
+  }
+}
+|}
+    !scale cores guests base_ops
+    (String.concat ",\n"
+       (List.map
+          (fun (shards, domains, _, wall, ok, err, merged) ->
+            Printf.sprintf
+              {|    {"shards": %d, "domains": %d, "wall_s": %.3f, "ops": %d, "ops_per_sec": %.1f, "p50_us": %.3f, "p99_us": %.3f, "p999_us": %.3f, "errors": %d}|}
+              shards domains wall ok
+              (float_of_int ok /. wall)
+              (Sim.Stats.median merged) (Sim.Stats.p99 merged)
+              (Sim.Stats.p999 merged) err)
+          scaling))
+    speedup_4 deterministic fairness zerr ll_wall ll_p99 ll_err p2c_wall
+    p2c_p99 p2c_err;
+  close_out oc;
+  Report.note "wrote BENCH_fleet.json";
+
+  (* hard acceptance gates — CI fails on any of these *)
+  if guests < 200 then
+    failwith (Printf.sprintf "fleet: only %d guest links (need >= 200)" guests);
+  List.iter
+    (fun (shards, _, _, _, ok, err, _) ->
+      if err > 0 then
+        failwith (Printf.sprintf "fleet: %d errored ops at %d shards" err shards);
+      if ok <> guests * base_ops then
+        failwith
+          (Printf.sprintf "fleet: completed %d/%d ops at %d shards" ok
+             (guests * base_ops) shards))
+    scaling;
+  if not deterministic then
+    failwith "fleet: per-shard results depend on the domain count";
+  if zerr > 0 then
+    failwith (Printf.sprintf "fleet: %d errored ops under zipf load" zerr);
+  if Float.is_nan fairness || fairness > 3.0 then
+    failwith
+      (Printf.sprintf "fleet: zipf fairness %.2f exceeds 3.0" fairness);
+  if ll_err > 0 || p2c_err > 0 then
+    failwith "fleet: errored ops in dispatch comparison";
+  if cores >= 4 then begin
+    if speedup_4 < 3.0 then
+      failwith
+        (Printf.sprintf "fleet: 1->4 shard speedup %.2fx below 3x on %d cores"
+           speedup_4 cores)
+  end
+  else
+    Report.note "scaling gate skipped: only %d core(s) available" cores

@@ -27,6 +27,7 @@ let experiments =
     ("containment", Experiments.containment);
     ("upgrade", Experiments.upgrade);
     ("notify", Experiments.notify);
+    ("fleet", Experiments.fleet);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -135,7 +136,7 @@ let () =
       print_endline "(pass experiment names to run a subset: noop fig2 fig3 fig4 fig5";
       print_endline " fig6 mouse camera audio table1 table2 table3 analyzer isolation";
       print_endline " recovery throughput memops trace containment upgrade notify";
-      print_endline " bechamel;";
+      print_endline " fleet bechamel;";
       print_endline " --quick";
       print_endline " shortens runs)";
       List.iter (fun (_, f) -> f ()) experiments;

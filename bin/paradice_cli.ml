@@ -3,6 +3,8 @@
    Subcommands:
      inspect   boot a full machine and print its topology
      bench     run one workload under a chosen configuration
+     trace     run a traced workload, export Chrome trace-event JSON
+     fleet     run the sharded fleet workload across parallel shards
      analyze   run the ioctl analyzer over the Radeon driver IR
      versions  compare file-operation vocabularies across kernels *)
 
@@ -193,6 +195,79 @@ let trace workload out ops packets batch =
       List.iter (fun (name, v) -> Printf.printf "  %-22s %d\n" name v) cs);
   `Ok ()
 
+(* ---- fleet ---- *)
+
+let fleet_shards =
+  Arg.(value & opt int 4 & info [ "shards" ] ~doc:"driver-VM shard count")
+
+let fleet_guests =
+  Arg.(value & opt int 64 & info [ "guests" ] ~doc:"guest links across the fleet")
+
+let fleet_ops =
+  Arg.(value & opt int 8 & info [ "ops" ] ~doc:"operations per guest")
+
+let fleet_seed =
+  Arg.(
+    value
+    & opt int 0xF1EE7
+    & info [ "seed" ] ~doc:"master seed (per-shard streams derived from it)")
+
+let fleet_alpha =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "zipf" ] ~docv:"ALPHA"
+        ~doc:"Zipf skew over the global guest index (0 = uniform load).")
+
+let fleet_domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domains to run shards on (default: min shards (recommended \
+           domain count)).  Simulated results are identical for any N.")
+
+let fleet shards guests ops seed alpha domains =
+  if shards < 1 then failwith "fleet: need at least one shard";
+  if guests < shards then failwith "fleet: need at least one guest per shard";
+  let module FL = Workloads.Fleet_load in
+  let ops_per_guest =
+    if alpha > 0. then FL.zipf_ops ~guests ~base:ops ~alpha
+    else FL.uniform_ops ~guests ~base:ops
+  in
+  let specs = FL.make_specs ~shards ~seed:(Int64.of_int seed) ~ops:ops_per_guest () in
+  let t0 = Unix.gettimeofday () in
+  let results = FL.run_fleet ?domains specs in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "fleet: %d guest links over %d shard(s), %s load, seed %#x\n\n"
+    guests shards
+    (if alpha > 0. then Printf.sprintf "zipf(%.2f)" alpha else "uniform")
+    seed;
+  Printf.printf "  shard  links  ok      errs  sim end us  digest\n";
+  Array.iter
+    (fun r ->
+      Printf.printf "  %-5d  %-5d  %-6d  %-4d  %-10.1f  %016Lx\n" r.FL.r_shard
+        (List.length r.FL.r_guests) r.FL.r_ok r.FL.r_err r.FL.r_sim_end_us
+        r.FL.r_digest)
+    results;
+  let pooled = Sim.Stats.create "fleet.lat_us" in
+  List.iter
+    (fun (g : FL.guest_result) -> Sim.Stats.merge_into ~into:pooled g.FL.g_lat)
+    (FL.all_guests results);
+  let total_ok = Array.fold_left (fun a r -> a + r.FL.r_ok) 0 results in
+  let total_err = Array.fold_left (fun a r -> a + r.FL.r_err) 0 results in
+  Printf.printf
+    "\n  total: %d ok, %d errs in %.2fs wall (%.0f ops/s aggregate)\n" total_ok
+    total_err wall
+    (float_of_int total_ok /. Float.max wall 1e-9);
+  Printf.printf "  latency us: p50 %.1f  p99 %.1f  p999 %.1f  max %.1f\n"
+    (Sim.Stats.percentile pooled 50.)
+    (Sim.Stats.p99 pooled) (Sim.Stats.p999 pooled) (Sim.Stats.max_value pooled);
+  Printf.printf "  per-guest mean-latency spread: %.2fx (1.0 = fair)\n"
+    (FL.fairness results);
+  `Ok ()
+
 (* ---- analyze ---- *)
 
 let analyze () =
@@ -249,6 +324,18 @@ let trace_cmd =
           (Perfetto-loadable) plus per-stage latency histograms")
     Term.(ret (const trace $ trace_workload $ trace_out $ trace_ops $ packets $ batch))
 
+let fleet_cmd =
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run the sharded fleet workload: parallel driver-VM shards with \
+          deterministic per-shard streams, aggregate tail latency and \
+          fairness")
+    Term.(
+      ret
+        (const fleet $ fleet_shards $ fleet_guests $ fleet_ops $ fleet_seed
+       $ fleet_alpha $ fleet_domains))
+
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Run the ioctl analyzer over the Radeon driver IR")
     Term.(ret (const analyze $ const ()))
@@ -262,4 +349,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paradice" ~version:Paradice.Api.version ~doc)
-          [ inspect_cmd; bench_cmd; trace_cmd; analyze_cmd; versions_cmd ]))
+          [ inspect_cmd; bench_cmd; trace_cmd; fleet_cmd; analyze_cmd; versions_cmd ]))

@@ -14,6 +14,7 @@
 type t = {
   channels : Channel.t array;
   cap : int;
+  rng : Sim.Rng.t option; (* Some -> power-of-two-choices dispatch *)
   mutable pending : int; (* in flight + waiting for a ring slot *)
   mutable rejected_busy : int;
 }
@@ -22,7 +23,8 @@ exception Busy
 (** Raised when the guest already has [max_queued_ops] operations
     outstanding. *)
 
-let create channels ~cap = { channels; cap; pending = 0; rejected_busy = 0 }
+let create ?rng channels ~cap =
+  { channels; cap; rng; pending = 0; rejected_busy = 0 }
 let pending t = t.pending
 let cap t = t.cap
 
@@ -47,7 +49,7 @@ let quiescent t = Array.for_all Channel.quiescent t.channels
 
 (* Least-loaded dispatch; strict [<] so ties go to the lowest index
    (a fully idle guest always lands on channel 0). *)
-let pick_channel t =
+let least_loaded t =
   let best = ref t.channels.(0) in
   let best_load = ref (Channel.load t.channels.(0)) in
   for i = 1 to Array.length t.channels - 1 do
@@ -58,6 +60,32 @@ let pick_channel t =
     end
   done;
   !best
+
+(* Power-of-two-choices: probe two distinct rings from the pool's
+   deterministic stream and take the lighter (ties -> lower index, like
+   the full scan).  O(1) per op where the scan is O(channels) — the
+   win that matters once channels_per_guest stops being tiny — while
+   the balls-in-bins bound keeps the worst ring within a constant
+   factor of least-loaded. *)
+let two_choices t rng =
+  let n = Array.length t.channels in
+  if n = 1 then t.channels.(0)
+  else begin
+    let a = Sim.Rng.int rng n in
+    let b =
+      (* second probe distinct from the first: draw from [n-1] and
+         skip over [a], keeping the distribution uniform *)
+      let b = Sim.Rng.int rng (n - 1) in
+      if b >= a then b + 1 else b
+    in
+    let a, b = if a < b then (a, b) else (b, a) in
+    if Channel.load t.channels.(b) < Channel.load t.channels.(a) then
+      t.channels.(b)
+    else t.channels.(a)
+  end
+
+let pick_channel t =
+  match t.rng with None -> least_loaded t | Some rng -> two_choices t rng
 
 let rpc ?timeout_us t bytes =
   if t.pending >= t.cap then begin

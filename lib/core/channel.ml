@@ -116,9 +116,13 @@ type t = {
   service_trace : int array; (* backend: trace id drained per slot *)
 }
 
-(* Channel ordinal for trace counter-series names ("ring3.occupancy");
-   creation order is deterministic, so traces are reproducible. *)
-let next_chan_uid = ref 0
+(* Channel ordinal for trace counter-series names ("ring3.occupancy").
+   The backend passes a uid derived from the guest VM id and channel
+   index, so the series names are deterministic per machine and two
+   machines in different domains never share a counter.  Channels
+   built without a uid (tests) draw from a domain-local fallback in a
+   disjoint range. *)
+let fallback_uids = Domain.DLS.new_key (fun () -> ref 1_000_000)
 
 (* ---- ring layout ---- *)
 
@@ -141,7 +145,15 @@ let slot_off slot = Memory.Addr.page_size + (slot * Proto.slot_size)
 (* the control page holds up to 128 slot state words before notify_off *)
 let max_slots = notify_off / 4
 
-let create engine ~config ~phys ~guest_vm ~driver_vm =
+let create ?uid engine ~config ~phys ~guest_vm ~driver_vm =
+  let uid =
+    match uid with
+    | Some u -> u
+    | None ->
+        let r = Domain.DLS.get fallback_uids in
+        incr r;
+        !r
+  in
   let slots = max 1 (min config.Config.ring_slots max_slots) in
   let slot_bytes = slots * Proto.slot_size in
   let pages =
@@ -203,9 +215,7 @@ let create engine ~config ~phys ~guest_vm ~driver_vm =
     timeouts = 0;
     retries = 0;
     tracer = config.Config.tracer;
-    chan_uid =
-      (incr next_chan_uid;
-       !next_chan_uid);
+    chan_uid = uid;
     service_trace = Array.make slots 0;
   }
 

@@ -5,7 +5,12 @@
 
 type t
 
+(** [uid] names this ring's trace counter series
+    (["ring<uid>.occupancy"]); the backend derives it from the guest
+    VM id and channel index so series names are deterministic per
+    machine.  Omitted (tests), a domain-local fallback is used. *)
 val create :
+  ?uid:int ->
   Sim.Engine.t ->
   config:Config.t ->
   phys:Memory.Phys_mem.t ->

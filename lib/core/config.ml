@@ -19,6 +19,14 @@ type ioctl_id_mode =
   | Analyzer_table (* static entries + JIT slices from the analyzer (§4.1) *)
   | Macro_only (* command-number decoding only: breaks nested-copy ioctls *)
 
+type dispatch =
+  | Least_loaded (* full scan of the guest's rings; ties -> lowest index *)
+  | Two_choices (* power-of-two-choices: probe two deterministic random
+                    rings, take the lighter (ties -> lower index).  O(1)
+                    per op instead of O(channels); the classic
+                    balls-in-bins result keeps the max load within a
+                    constant factor of the full scan. *)
+
 type t = {
   comm_mode : comm_mode;
   (* -- transport -- *)
@@ -54,6 +62,10 @@ type t = {
                         a guest may have in flight on one channel before
                         publishers block (doorbells coalesce across all
                         descriptors queued since the last one) *)
+  dispatch : dispatch; (* how the pool routes an op to a ring *)
+  dispatch_seed : int64; (* seeds the per-link Two_choices probe stream
+                             (derived per guest VM id, so dispatch is
+                             deterministic and per-link independent) *)
   (* -- fault containment & recovery (§4.1, §7.2) -- *)
   rpc_timeout_us : float; (* per-attempt RPC deadline; 0 = block forever
                               (blocking reads on quiet devices are
@@ -134,6 +146,8 @@ let default =
     max_queued_ops = 100;
     channels_per_guest = 4;
     ring_slots = 8;
+    dispatch = Least_loaded;
+    dispatch_seed = 0x5EEDL;
     rpc_timeout_us = 0.;
     rpc_retries = 2;
     heartbeat_interval_us = 0.;

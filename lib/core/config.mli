@@ -7,6 +7,12 @@ type ioctl_id_mode =
   | Analyzer_table (** static entries + JIT slices (§4.1) *)
   | Macro_only (** command-number decoding only; nested ioctls fail *)
 
+type dispatch =
+  | Least_loaded (** full ring scan; ties -> lowest index (default) *)
+  | Two_choices
+      (** power-of-two-choices: probe two deterministic random rings,
+          take the lighter — O(1) per op instead of O(channels) *)
+
 type t = {
   comm_mode : comm_mode;
   interrupt_latency_us : float;
@@ -33,6 +39,10 @@ type t = {
   channels_per_guest : int;
   ring_slots : int;
       (** descriptor-ring depth per channel (in-flight RPC bound) *)
+  dispatch : dispatch;  (** how the pool routes an op to a ring *)
+  dispatch_seed : int64;
+      (** seeds the per-link [Two_choices] probe stream (derived per
+          guest VM id: deterministic, per-link independent) *)
   rpc_timeout_us : float;
       (** per-attempt RPC deadline; 0 = block forever (default) *)
   rpc_retries : int;  (** resends after a timeout before ETIMEDOUT *)

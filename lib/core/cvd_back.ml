@@ -491,11 +491,29 @@ let connect t ~guest_vm =
   let engine = Kernel.engine t.kernel in
   let n = max 1 t.config.Config.channels_per_guest in
   let channels =
-    Array.init n (fun _ ->
-        Channel.create engine ~config:t.config ~phys:(Hypervisor.Hyp.phys t.hyp)
-          ~guest_vm ~driver_vm:(Kernel.vm t.kernel))
+    Array.init n (fun i ->
+        (* deterministic per machine: guest VM ids are per-hypervisor,
+           so ring counter-series names never depend on how many
+           machines (fleet shards) this process built before *)
+        Channel.create
+          ~uid:((Hypervisor.Vm.id guest_vm * 1000) + i + 1)
+          engine ~config:t.config ~phys:(Hypervisor.Hyp.phys t.hyp) ~guest_vm
+          ~driver_vm:(Kernel.vm t.kernel))
   in
-  let pool = Chan_pool.create channels ~cap:t.config.Config.max_queued_ops in
+  let rng =
+    match t.config.Config.dispatch with
+    | Config.Least_loaded -> None
+    | Config.Two_choices ->
+        (* keyed per link by guest VM id: dispatch draws are a pure
+           function of (dispatch_seed, vm id) — independent of how
+           many links exist or connect order *)
+        Some
+          (Sim.Rng.derive ~seed:t.config.Config.dispatch_seed
+             ~index:(Hypervisor.Vm.id guest_vm))
+  in
+  let pool =
+    Chan_pool.create ?rng channels ~cap:t.config.Config.max_queued_ops
+  in
   let link =
     {
       guest_vm;

@@ -1,0 +1,25 @@
+(** Fleet runtime: run independent shards in parallel on OCaml 5
+    domains.  Shards share no mutable simulation state; cross-shard
+    interaction happens only at placement (before) and aggregation
+    (after).  Fixed inputs ⇒ bit-identical per-shard simulated
+    results whatever the domain count. *)
+
+(** [run_shards ~shards ?domains f] evaluates [f shard_id] for ids
+    [0 .. shards-1] over [domains] OCaml domains (default:
+    [Domain.recommended_domain_count], clamped to [shards]); shard
+    [i] runs on domain [i mod domains], ascending within a domain,
+    and [domains = 1] is a plain sequential loop.  Results are
+    indexed by shard id.  If shards raise, all still run; the
+    lowest-numbered shard's exception is re-raised. *)
+val run_shards : shards:int -> ?domains:int -> (int -> 'a) -> 'a array
+
+(** {1 Order-sensitive digests}
+
+    For bit-identity checks across domain counts: digest every
+    completion event in order; permutations yield different digests. *)
+
+val digest_empty : int64
+val digest_mix : int64 -> int64 -> int64
+
+(** Fold a float (e.g. a simulated timestamp) bit-exactly. *)
+val digest_mix_float : int64 -> float -> int64

@@ -14,12 +14,24 @@ let widths = [ 2; 9; 9 ] (* PAE: PDPT / PD / PT *)
 let max_va = (1 lsl 32) - 1
 
 (* Unique ids let the hypervisor key per-address-space state (its mmap
-   registry) without structural comparison of whole tables. *)
-let next_id = ref 0
+   registry) without structural comparison of whole tables.  The
+   hypervisor always keys by [(vm id, pt id)], so callers building
+   process page tables pass a per-VM id explicitly (Kernel allocates
+   them) and independent machines stay deterministic.  Standalone
+   tables (tests, microbenchmarks) fall back to a domain-local counter
+   in a disjoint range — no shared mutable state across domains. *)
+let fallback_ids = Domain.DLS.new_key (fun () -> ref 1_000_000)
 
-let create () =
-  incr next_id;
-  { id = !next_id; table = Radix_table.create ~widths }
+let create ?id () =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+        let r = Domain.DLS.get fallback_ids in
+        incr r;
+        !r
+  in
+  { id; table = Radix_table.create ~widths }
 
 let id t = t.id
 

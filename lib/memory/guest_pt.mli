@@ -3,7 +3,12 @@
 
 type t
 
-val create : unit -> t
+(** [create ~id ()] builds a page table with the given id; the
+    hypervisor keys per-address-space state by [(vm id, pt id)], so
+    ids need only be unique per VM (the kernel allocates them).
+    Without [id], a domain-local counter in a disjoint range serves
+    standalone tables (tests, benchmarks). *)
+val create : ?id:int -> unit -> t
 
 (** Unique id, used by the hypervisor to key per-address-space state. *)
 val id : t -> int

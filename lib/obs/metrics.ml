@@ -46,6 +46,17 @@ let histograms t = sorted_bindings t.hists Fun.id
 (** All counters, sorted by name (deterministic). *)
 let counters t = sorted_bindings t.counters ( ! )
 
+(** Fold [src] into [into], optionally renaming every key with
+    [prefix] (e.g. ["shard3."]) — the cross-shard aggregation path:
+    each fleet shard records into its own registry while running, and
+    the coordinator merges them after the domains join.  Histogram
+    merges are exact ({!Sim.Stats.merge_into}); [src] is unchanged. *)
+let merge ~into ?(prefix = "") src =
+  Hashtbl.iter
+    (fun name h -> Sim.Stats.merge_into ~into:(histogram into (prefix ^ name)) h)
+    src.hists;
+  Hashtbl.iter (fun name r -> incr ~by:!r into (prefix ^ name)) src.counters
+
 let reset t =
   Hashtbl.reset t.hists;
   Hashtbl.reset t.counters

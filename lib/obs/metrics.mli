@@ -17,5 +17,11 @@ val count : t -> string -> int
 val find_histogram : t -> string -> Sim.Stats.t option
 val histograms : t -> (string * Sim.Stats.t) list
 val counters : t -> (string * int) list
+
+(** Fold [src] into [into] (exact histogram pooling), each key
+    renamed with [prefix] — per-shard namespacing for cross-shard
+    aggregation.  [src] is unchanged. *)
+val merge : into:t -> ?prefix:string -> t -> unit
+
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

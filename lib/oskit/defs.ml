@@ -14,6 +14,7 @@ type task = {
   va_alloc : Memory.Allocator.t; (* user virtual-address space *)
   fds : (int, file) Hashtbl.t;
   mutable next_fd : int;
+  mutable mmap_cursor : int; (* next free address in the mmap area *)
   mutable vmas : vma list;
   mutable remote : remote_ctx option;
       (* CVD backend marker (§5.2): when set, this thread executes a

@@ -10,6 +10,7 @@ type task = {
   va_alloc : Memory.Allocator.t;
   fds : (int, file) Hashtbl.t;
   mutable next_fd : int;
+  mutable mmap_cursor : int;  (** next free address in the mmap area *)
   mutable vmas : vma list;
   mutable remote : remote_ctx option;
       (** CVD backend marker (§5.2): set while this thread executes a

@@ -21,6 +21,10 @@ val flavor : t -> Os_flavor.t
 val devfs : t -> Devfs.t
 val spawn_task : t -> name:string -> Defs.task
 
+(** Allocate a file id ({!Vfs.openf} uses this); unique per kernel,
+    the scope every consumer keys by. *)
+val alloc_file_id : t -> int
+
 (** Charge simulated time (no-op when zero, so functional tests can
     run outside the engine). *)
 val charge : t -> float -> unit

@@ -2,24 +2,28 @@
 
 open Defs
 
-let next_pid = ref 0
-
 (* User VA layout: heap allocations grow from 16 MiB; device mmaps are
    placed by the VFS from 1 GiB upward (see Vfs.mmap). *)
 let user_heap_base = 0x0100_0000
 let user_heap_size = 0x3000_0000
 let mmap_base = 0x4000_0000
 
-let create ~name ~vm =
-  incr next_pid;
+(* [pid] and [pt_id] are allocated by the owning kernel (per-VM
+   counters): the hypervisor keys its per-process state by
+   [(vm id, pid)] / [(vm id, pt id)], so per-VM uniqueness suffices —
+   and keeping the counters out of global state lets independent
+   machines (fleet shards) allocate identical ids regardless of how
+   many ran before them in the same process. *)
+let create ~pid ~pt_id ~name ~vm =
   {
-    pid = !next_pid;
+    pid;
     task_name = name;
     vm;
-    pt = Memory.Guest_pt.create ();
+    pt = Memory.Guest_pt.create ~id:pt_id ();
     va_alloc = Memory.Allocator.create ~base:user_heap_base ~size:user_heap_size;
     fds = Hashtbl.create 8;
     next_fd = 3; (* 0-2 reserved, as tradition demands *)
+    mmap_cursor = mmap_base;
     vmas = [];
     remote = None;
     sigio_handler = None;

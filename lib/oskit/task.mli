@@ -7,7 +7,10 @@ val user_heap_base : int
 val user_heap_size : int
 val mmap_base : int
 
-val create : name:string -> vm:Hypervisor.Vm.t -> task
+(** [pid] and [pt_id] come from the owning kernel's per-VM counters
+    (see {!Kernel.spawn_task}); the hypervisor keys per-process state
+    by [(vm id, pid)], so per-VM uniqueness is all that is needed. *)
+val create : pid:int -> pt_id:int -> name:string -> vm:Hypervisor.Vm.t -> task
 
 (** Allocate process memory (page-granular backing from VM RAM);
     returns the user virtual address. *)

@@ -11,8 +11,6 @@ type 'a result = ('a, Errno.t) Stdlib.result
 
 let wrap f = try Ok (f ()) with Errno.Unix_error (errno, _) -> Error errno
 
-let next_file_id = ref 0
-
 let lookup_fd task fd =
   match Hashtbl.find_opt task.fds fd with
   | Some file when not file.closed -> file
@@ -27,10 +25,9 @@ let openf kernel task path : int result =
       | Some dev ->
           if dev.exclusive && dev.open_count > 0 then
             Errno.fail Errno.EBUSY (path ^ " is single-open");
-          incr next_file_id;
           let file =
             {
-              file_id = !next_file_id;
+              file_id = Kernel.alloc_file_id kernel;
               dev;
               opener = task;
               nonblock = false;
@@ -80,22 +77,14 @@ let ioctl kernel task fd ~cmd ~arg : int result =
     process; returns the chosen virtual address.  The driver's mmap
     handler may populate pages eagerly with [insert_pfn] or leave them
     to the fault handler. *)
-let mmap_addr_alloc = Hashtbl.create 16
-(* per-task cursor into the mmap area *)
-
 let mmap kernel task fd ~len ~pgoff : int result =
   Kernel.charge_syscall kernel;
   wrap (fun () ->
       if len <= 0 || len mod Memory.Addr.page_size <> 0 then
         Errno.fail Errno.EINVAL "mmap: length must be a positive page multiple";
       let file = lookup_fd task fd in
-      let cursor =
-        match Hashtbl.find_opt mmap_addr_alloc task.pid with
-        | Some c -> c
-        | None -> Task.mmap_base
-      in
-      let gva = cursor in
-      Hashtbl.replace mmap_addr_alloc task.pid (cursor + len + Memory.Addr.page_size);
+      let gva = task.mmap_cursor in
+      task.mmap_cursor <- gva + len + Memory.Addr.page_size;
       let vma = { vma_start = gva; vma_len = len; vma_file = file; vma_pgoff = pgoff } in
       file.dev.ops.fop_mmap task file vma;
       task.vmas <- vma :: task.vmas;

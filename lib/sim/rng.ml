@@ -38,3 +38,26 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
     simulated process its own stream so spawn order does not perturb
     other processes' draws. *)
 let split t = { state = next_int64 t }
+
+(* Second odd-integer gamma for keyed derivation; from the same family
+   of mixing constants as [golden_gamma] (Steele et al., "Fast
+   splittable pseudorandom number generators", OOPSLA'14 lineage). *)
+let derive_gamma = 0xD1B54A32D192ED03L
+
+(** [derive ~seed ~index] is a {e stateless} keyed stream: the
+    generator for shard/link [index] under master seed [seed].  Unlike
+    {!split}, it does not consume draws from a parent generator, so
+    stream [i]'s output is a pure function of [(seed, i)] — shard
+    results cannot depend on construction order, which is what fleet
+    determinism ("same per-shard output on 1 or N domains") needs.
+
+    Derivation: run one SplitMix64 finalizer step over
+    [seed XOR (index + 1) * derive_gamma], take the output as the new
+    state.  The [+ 1] keeps index 0 from degenerating to the master
+    seed itself; the multiply spreads consecutive indices across the
+    state space so adjacent shards start in uncorrelated positions. *)
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be >= 0";
+  let key = Int64.mul (Int64.of_int (index + 1)) derive_gamma in
+  let t = { state = Int64.logxor seed key } in
+  { state = next_int64 t }

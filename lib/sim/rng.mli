@@ -18,3 +18,9 @@ val bool : t -> bool
 
 (** Derive an independent generator (stream splitting). *)
 val split : t -> t
+
+(** [derive ~seed ~index] is the keyed stream for shard/link [index]
+    under master seed [seed] — a pure function of [(seed, index)],
+    consuming no parent draws, so derived streams are independent of
+    construction order (fleet determinism).  [index] must be >= 0. *)
+val derive : seed:int64 -> index:int -> t

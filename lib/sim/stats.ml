@@ -71,6 +71,30 @@ let percentile t p =
   end
 
 let median t = percentile t 50.
+let p99 t = percentile t 99.
+let p999 t = percentile t 99.9
+
+(** [merge_into ~into t] folds [t]'s samples into [into], as if every
+    sample had been {!add}ed there — so fleet-wide percentiles over
+    per-shard accumulators are exact, identical to pooling the raw
+    samples.  [t] is unchanged.  Cross-shard aggregation must only run
+    after the shard domains have been joined. *)
+let merge_into ~into t =
+  if t.count > 0 then begin
+    into.samples <- List.rev_append t.samples into.samples;
+    into.sorted <- None;
+    into.count <- into.count + t.count;
+    into.sum <- into.sum +. t.sum;
+    if t.min < into.min then into.min <- t.min;
+    if t.max > into.max then into.max <- t.max
+  end
+
+(** [merge name ts] pools the samples of [ts] into a fresh
+    accumulator. *)
+let merge name ts =
+  let into = create name in
+  List.iter (fun t -> merge_into ~into t) ts;
+  into
 
 let stddev t =
   if t.count < 2 then 0.

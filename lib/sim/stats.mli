@@ -15,5 +15,15 @@ val median : t -> float
 (** [percentile t p] for [p] in [\[0, 100\]]. *)
 val percentile : t -> float -> float
 
+val p99 : t -> float
+val p999 : t -> float
+
+(** Fold [t]'s samples into [into] (exact: equals pooling the raw
+    samples); [t] is unchanged. *)
+val merge_into : into:t -> t -> unit
+
+(** Pool the given accumulators into a fresh one named [name]. *)
+val merge : string -> t list -> t
+
 val stddev : t -> float
 val pp : Format.formatter -> t -> unit

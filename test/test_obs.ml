@@ -259,6 +259,34 @@ let test_fasync_failure_keeps_subscription_state () =
     "a rejected unsubscribe must not silently stop SIGIO delivery" true
     (!sigio_after > !sigio_before)
 
+let test_metrics_merge_namespaces () =
+  (* cross-shard aggregation: prefixed merges keep per-shard
+     namespaces apart, unprefixed merges pool exactly, and the source
+     registries stay untouched *)
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr ~by:3 a "ops";
+  Metrics.observe a "lat" 10.;
+  Metrics.observe a "lat" 20.;
+  Metrics.incr b "ops";
+  Metrics.observe b "lat" 30.;
+  let agg = Metrics.create () in
+  Metrics.merge ~into:agg ~prefix:"shard0." a;
+  Metrics.merge ~into:agg ~prefix:"shard1." b;
+  Metrics.merge ~into:agg a;
+  Metrics.merge ~into:agg b;
+  Alcotest.(check int) "shard0 counter" 3 (Metrics.count agg "shard0.ops");
+  Alcotest.(check int) "shard1 counter" 1 (Metrics.count agg "shard1.ops");
+  Alcotest.(check int) "pooled counter" 4 (Metrics.count agg "ops");
+  let pooled = Option.get (Metrics.find_histogram agg "lat") in
+  Alcotest.(check int) "pooled samples" 3 (Sim.Stats.count pooled);
+  Alcotest.(check (float 1e-9)) "pooled mean" 20. (Sim.Stats.mean pooled);
+  Alcotest.(check (float 1e-9)) "pooled max" 30. (Sim.Stats.max_value pooled);
+  let s0 = Option.get (Metrics.find_histogram agg "shard0.lat") in
+  Alcotest.(check int) "shard0 samples" 2 (Sim.Stats.count s0);
+  Alcotest.(check int) "source unchanged" 2
+    (Sim.Stats.count (Option.get (Metrics.find_histogram a "lat")));
+  Alcotest.(check int) "source counter unchanged" 3 (Metrics.count a "ops")
+
 let suites =
   [
     ( "obs",
@@ -277,5 +305,7 @@ let suites =
           test_poll_forwards_interest_mask;
         Alcotest.test_case "failed fasync leaves subscriptions intact" `Quick
           test_fasync_failure_keeps_subscription_state;
+        Alcotest.test_case "metrics merge with shard prefixes" `Quick
+          test_metrics_merge_namespaces;
       ] );
   ]

@@ -249,6 +249,54 @@ let test_rng_split_independent () =
   let ys = List.init 20 (fun _ -> Sim.Rng.int b 1_000_000) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+let test_rng_derive_pure () =
+  (* derive is a pure function of (seed, index): re-deriving the same
+     stream replays it exactly, and deriving other indices in between
+     (construction order) changes nothing *)
+  let tap rng = List.init 50 (fun _ -> Sim.Rng.next_int64 rng) in
+  let a = tap (Sim.Rng.derive ~seed:0xF1EE7L ~index:3) in
+  ignore (tap (Sim.Rng.derive ~seed:0xF1EE7L ~index:0));
+  ignore (tap (Sim.Rng.derive ~seed:0xF1EE7L ~index:7));
+  let a' = tap (Sim.Rng.derive ~seed:0xF1EE7L ~index:3) in
+  Alcotest.(check bool) "stable across runs and order" true (a = a');
+  Alcotest.(check bool) "index 0 differs from the master stream" true
+    (tap (Sim.Rng.derive ~seed:0xF1EE7L ~index:0)
+    <> tap (Sim.Rng.create ~seed:0xF1EE7L));
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.derive: index must be >= 0") (fun () ->
+      ignore (Sim.Rng.derive ~seed:1L ~index:(-1)))
+
+let test_rng_derive_uncorrelated () =
+  (* adjacent shard streams must not be trivially correlated: no shared
+     draws, and each stream alone still looks uniform (mean of many
+     [0,1) floats near 0.5) *)
+  let n = 2_000 in
+  let streams =
+    List.init 4 (fun i -> Sim.Rng.derive ~seed:0xD00DL ~index:i)
+  in
+  let draws = List.map (fun r -> Array.init n (fun _ -> Sim.Rng.float r 1.)) streams in
+  List.iteri
+    (fun i xs ->
+      let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+      if Float.abs (mean -. 0.5) > 0.03 then
+        Alcotest.failf "stream %d mean %.3f far from 0.5" i mean)
+    draws;
+  (* pairwise: identical positions almost never collide *)
+  List.iteri
+    (fun i xs ->
+      List.iteri
+        (fun j ys ->
+          if j > i then begin
+            let coll = ref 0 in
+            for k = 0 to n - 1 do
+              if xs.(k) = ys.(k) then incr coll
+            done;
+            if !coll > 0 then
+              Alcotest.failf "streams %d/%d share %d draws" i j !coll
+          end)
+        draws)
+    draws
+
 let test_stats () =
   let s = Sim.Stats.create "t" in
   List.iter (Sim.Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
@@ -273,6 +321,40 @@ let test_stats_percentiles () =
   Sim.Stats.add s 0.;
   check_float "cache invalidated on add" 0. (Sim.Stats.percentile s 0.);
   check_float "p50 shifts with the new sample" 50. (Sim.Stats.percentile s 50.)
+
+let test_stats_merge () =
+  (* merged accumulators must equal pooling the raw samples — the
+     fleet's cross-shard aggregation path *)
+  let rng = Sim.Rng.create ~seed:99L in
+  let parts = List.init 4 (fun i -> Sim.Stats.create (Printf.sprintf "s%d" i)) in
+  let pooled = Sim.Stats.create "pooled" in
+  List.iter
+    (fun part ->
+      for _ = 1 to 250 do
+        let x = Sim.Rng.float rng 1000. in
+        Sim.Stats.add part x;
+        Sim.Stats.add pooled x
+      done)
+    parts;
+  let merged = Sim.Stats.merge "merged" parts in
+  Alcotest.(check int) "count" (Sim.Stats.count pooled) (Sim.Stats.count merged);
+  check_float "mean" (Sim.Stats.mean pooled) (Sim.Stats.mean merged);
+  check_float "min" (Sim.Stats.min_value pooled) (Sim.Stats.min_value merged);
+  check_float "max" (Sim.Stats.max_value pooled) (Sim.Stats.max_value merged);
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "p%.1f" p)
+        (Sim.Stats.percentile pooled p)
+        (Sim.Stats.percentile merged p))
+    [ 50.; 90.; 99.; 99.9 ];
+  check_float "p99 accessor" (Sim.Stats.percentile merged 99.) (Sim.Stats.p99 merged);
+  check_float "p999 accessor" (Sim.Stats.percentile merged 99.9) (Sim.Stats.p999 merged);
+  (* sources unchanged; merge_into keeps accepting adds (cache reset) *)
+  Alcotest.(check int) "source untouched" 250 (Sim.Stats.count (List.hd parts));
+  Sim.Stats.add merged 1.0e9;
+  check_float "max after later add" 1.0e9 (Sim.Stats.max_value merged);
+  check_float "p100 after later add" 1.0e9 (Sim.Stats.percentile merged 100.)
 
 (* Property tests *)
 
@@ -356,8 +438,11 @@ let suites =
         Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
         Alcotest.test_case "rng int in range" `Quick test_rng_int_in_range;
         Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng derive pure" `Quick test_rng_derive_pure;
+        Alcotest.test_case "rng derive uncorrelated" `Quick test_rng_derive_uncorrelated;
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
+        Alcotest.test_case "stats merge = pooled" `Quick test_stats_merge;
         QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
         QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
       ] );
