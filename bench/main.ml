@@ -92,6 +92,32 @@ let bechamel_benchmarks () =
                   if addr + len <= 4096 then Bytes.sub jit_mem addr len
                   else Bytes.make len '\000'))))
   in
+  (* spec-derived wire codec: the full descriptor path a backend
+     worker pays per op — encode, bounds-checked decode, sanitize *)
+  let codec_limits = Paradice.Proto.Fuzz.default_limits in
+  let codec_test =
+    let req = Paradice.Proto.Rread { vfd = 3; buf = 0x1234; len = 4096 } in
+    Test.make ~name:"wire codec: read encode+decode+validate"
+      (Staged.stage (fun () ->
+           let b = Paradice.Proto.encode_request ~grant_ref:1 ~pid:7 req in
+           ignore
+             (Paradice.Proto.validate_limits ~limits:codec_limits
+                (Paradice.Proto.decode_request b))))
+  in
+  let codec_batch_test =
+    let req =
+      Paradice.Proto.Rbatch
+        (List.init Paradice.Proto.max_batch_ops (fun i ->
+             if i mod 2 = 0 then Paradice.Proto.Rnoop
+             else Paradice.Proto.Rread { vfd = 3; buf = 0x1234; len = 64 }))
+    in
+    Test.make ~name:"wire codec: 32-op batch encode+decode+validate"
+      (Staged.stage (fun () ->
+           let b = Paradice.Proto.encode_request ~grant_ref:1 ~pid:7 req in
+           ignore
+             (Paradice.Proto.validate_limits ~limits:codec_limits
+                (Paradice.Proto.decode_request b))))
+  in
   (* simulation engine event throughput *)
   let engine_test =
     Test.make ~name:"sim engine: 100 timed events"
@@ -106,7 +132,10 @@ let bechamel_benchmarks () =
   let instances = Instance.[ monotonic_clock ] in
   let tests =
     Test.make_grouped ~name:"hot-paths"
-      [ walk_test; grant_test; macro_test; jit_test; engine_test ]
+      [
+        walk_test; grant_test; macro_test; jit_test; codec_test;
+        codec_batch_test; engine_test;
+      ]
   in
   let results = Benchmark.all cfg instances tests in
   let ols =

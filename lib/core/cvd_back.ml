@@ -45,10 +45,27 @@ type t = {
   mutable exports : string list; (* device paths guests may open *)
   mutable links : guest_link list;
   mutable killed : bool; (* driver VM crashed: serve nothing more *)
+  limits : Wire_spec.limits;
+      (* the sanitization bounds, packed once from config; live serve
+         and checkpoint restore vet requests against the same record *)
 }
 
 let create ~kernel ~hyp ~config ~policy =
-  { kernel; hyp; config; policy; exports = []; links = []; killed = false }
+  {
+    kernel;
+    hyp;
+    config;
+    policy;
+    exports = [];
+    links = [];
+    killed = false;
+    limits =
+      {
+        Wire_spec.max_transfer_bytes = config.Config.max_transfer_bytes;
+        poll_timeout_cap_us = config.Config.poll_timeout_cap_us;
+        grant_capacity = Hypervisor.Grant_table.capacity;
+      };
+  }
 
 let export t path =
   if not (List.mem path t.exports) then t.exports <- path :: t.exports
@@ -414,10 +431,7 @@ let serve_one t link worker (bytes : bytes) : Proto.response =
     | (_, grant_ref, pid) as decoded -> (
         let sanitized =
           if t.config.Config.sanitize_requests then
-            Proto.validate
-              ~max_transfer_bytes:t.config.Config.max_transfer_bytes
-              ~poll_timeout_cap_us:t.config.Config.poll_timeout_cap_us
-              ~grant_capacity:Hypervisor.Grant_table.capacity decoded
+            Proto.validate_limits ~limits:t.limits decoded
           else
             let r, _, _ = decoded in
             Ok r
@@ -678,10 +692,7 @@ let fault_check t key =
 (* Restore validation runs the {e same} sanitization pass as a live
    request: a snapshotted path or VMA range the backend would refuse
    from the wire is refused from the checkpoint too. *)
-let sanitize t decoded =
-  Proto.validate ~max_transfer_bytes:t.config.Config.max_transfer_bytes
-    ~poll_timeout_cap_us:t.config.Config.poll_timeout_cap_us
-    ~grant_capacity:Hypervisor.Grant_table.capacity decoded
+let sanitize t decoded = Proto.validate_limits ~limits:t.limits decoded
 
 (** Restore a checkpointed session onto {e this} (successor) backend:
     fresh channel pool and workers via {!connect}, the containment

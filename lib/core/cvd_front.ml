@@ -326,7 +326,16 @@ let forward t (task : Defs.task) ~ops req : Proto.response =
         (* after a transport death the table was already revoked wholesale *)
         if t.session = Healthy then release t grant_ref)
       (fun () ->
-        let req_bytes = Proto.encode_request ~grant_ref ~pid:task.Defs.pid req in
+        let req_bytes =
+          try Proto.encode_request ~grant_ref ~pid:task.Defs.pid req
+          with Proto.Oversized { field; length; limit } ->
+            (* the derived encoder refuses what the decoder would
+               reject (e.g. an over-long open path) instead of
+               corrupting adjacent slot words *)
+            Errno.fail Errno.ENAMETOOLONG
+              (Printf.sprintf "%s: %d bytes exceeds wire limit %d" field
+                 length limit)
+        in
         Proto.set_trace req_bytes trace;
         let resp_bytes =
           try pool_rpc t ~parked:false req_bytes with

@@ -1,5 +1,10 @@
 (** CVD wire protocol: file operations and results serialised into the
-    shared page (§5.1). *)
+    shared page (§5.1).
+
+    Every message form is declared exactly once as a {!Wire_spec}
+    field spec ({!req_specs} / {!resp_specs}); the encoder, the
+    bounds-checked decoder, the sanitizer and the {!Fuzz} generator /
+    grammar-aware mutator are all derived from that single table. *)
 
 type request =
   | Ropen of { path : string }
@@ -51,6 +56,22 @@ val get_trace : bytes -> int
 
 exception Malformed of string
 
+(** Raised by {!encode_request} when a field value has no wire
+    representation — e.g. an [Ropen] path longer than the 256-byte
+    wire cap: the encoder rejects exactly what the decoder would,
+    instead of blitting past the path slot. *)
+exception Oversized of { field : string; length : int; limit : int }
+
+(** The spec table the codecs are derived from: one
+    {!Wire_spec.spec} per singleton request opcode (the structural
+    [Rbatch] form, opcode 12, is the count @12 / length-prefixed
+    record grammar over the [batchable] entries). *)
+val req_specs : request Wire_spec.spec list
+
+(** Response specs (tags 1-3; the [Rbatch_reply] record grammar is
+    tag 4). *)
+val resp_specs : response Wire_spec.spec list
+
 val encode_request : grant_ref:int -> pid:int -> request -> bytes
 
 (** Returns [(request, grant_ref, pid)]; raises {!Malformed} on
@@ -58,7 +79,7 @@ val encode_request : grant_ref:int -> pid:int -> request -> bytes
 val decode_request : bytes -> request * int * int
 
 (** A field that failed sanitization. *)
-type violation = { field : string; detail : string }
+type violation = Wire_spec.violation = { field : string; detail : string }
 
 (** Post-decode, pre-dispatch sanitization (§4, §7.1): bound every
     field of a decoded request.  Returns the request (poll timeouts
@@ -72,6 +93,11 @@ val validate :
   grant_capacity:int ->
   request * int * int ->
   (request, violation) result
+
+(** Same sanitizer with the limits pre-packed (the backend builds one
+    {!Wire_spec.limits} from its config and reuses it per request). *)
+val validate_limits :
+  limits:Wire_spec.limits -> request * int * int -> (request, violation) result
 
 (** Largest mmap/munmap range {!validate} accepts (device BARs exceed
     the copy-transfer cap but must still be bounded). *)
@@ -89,3 +115,21 @@ val encode_response : response -> bytes
 val decode_response : bytes -> response
 val op_kind_of_request : request -> Oskit.Os_flavor.op_kind
 val request_name : request -> string
+
+(** Spec-derived fuzzing: seeded random requests that satisfy every
+    sanitizer rule ({!Fuzz.generate}), and a grammar-aware mutator
+    that drives exactly one element of an encoded descriptor hostile —
+    a header word, a batch count, a record length or tag, or one
+    declared field under its own spec ({!Fuzz.mutate}). *)
+module Fuzz : sig
+  (** Bounds used when generating valid skeletons. *)
+  val default_limits : Wire_spec.limits
+
+  val generate : ?limits:Wire_spec.limits -> Sim.Rng.t -> request
+  val mutate : Sim.Rng.t -> bytes -> unit
+
+  (** [descriptor rng ~grant_ref ~pid] is an encoded slot: a valid
+      skeleton, mutated 7 times out of 8. *)
+  val descriptor :
+    ?limits:Wire_spec.limits -> Sim.Rng.t -> grant_ref:int -> pid:int -> bytes
+end

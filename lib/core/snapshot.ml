@@ -22,10 +22,13 @@
     empty; in-flight operations drain or are replayed by the
     frontend).
 
-    The wire format is little-endian and versioned; {!decode} distrusts
-    the blob the way {!Proto.decode_request} distrusts a descriptor:
-    every length is bounded and every tag checked, raising {!Malformed}
-    rather than producing an undefined session. *)
+    The v1 wire layout is declared {e once} below as a
+    {!Wire_spec.Stream} combinator value ([snap_t]); {!encode} and
+    {!decode} are the derived writer and reader over it.  {!decode}
+    distrusts the blob the way {!Proto.decode_request} distrusts a
+    descriptor: every length and tag check is attached to the field
+    that carries it, raising {!Malformed} rather than producing an
+    undefined session. *)
 
 type file_rec = {
   fr_vfd : int;
@@ -66,17 +69,6 @@ let max_vmas_per_file = 4096
 let max_grant_groups = 4096
 let max_ops_per_group = 4096
 
-(* ---- writer ---- *)
-
-let w32 b v = Buffer.add_int32_le b (Int32.of_int v)
-let w64 b v = Buffer.add_int64_le b (Int64.of_int v)
-
-let w_string b s =
-  w32 b (String.length s);
-  Buffer.add_string b s
-
-let w_bool b v = w32 b (if v then 1 else 0)
-
 let op_code : Hypervisor.Grant_table.op -> int = function
   | Hypervisor.Grant_table.Copy_to_user _ -> 1
   | Hypervisor.Grant_table.Copy_from_user _ -> 2
@@ -88,155 +80,127 @@ let op_fields : Hypervisor.Grant_table.op -> int * int = function
   | Hypervisor.Grant_table.Map_page { addr; len } ->
       (addr, len)
 
-(* ---- reader ---- *)
+(* ---- the v1 layout, declared once ----
 
-type cursor = { buf : string; mutable pos : int }
+   Checks are closures raising {!Malformed} directly, attached to the
+   field whose wire word they bound; [Wire_spec.Stream] runs them in
+   read order.  u32-read counts and refs cannot be negative by the
+   DSL's read policy, so only upper bounds appear; 64-bit fields read
+   under the u63 policy, so a hostile top-bit-set word surfaces as a
+   negative int and is rejected by the explicit checks below. *)
 
-let need c n =
-  if c.pos + n > String.length c.buf then
-    malformed "truncated snapshot at byte %d (need %d more)" c.pos n
+module Ws = Wire_spec.Stream
 
-let r32 c =
-  need c 4;
-  let v = Int32.to_int (String.get_int32_le c.buf c.pos) land 0xffffffff in
-  c.pos <- c.pos + 4;
-  v
+let vma_t : (int * int * int) Ws.t =
+  Ws.conv
+    (fun ((gva, len), pgoff) ->
+      if len < 0 || gva < 0 || pgoff < 0 then malformed "negative vma field";
+      (gva, len, pgoff))
+    (fun (gva, len, pgoff) -> ((gva, len), pgoff))
+    (Ws.pair (Ws.pair Ws.i64 Ws.i64) Ws.i64)
 
-let r64 c =
-  need c 8;
-  let v = Int64.to_int (String.get_int64_le c.buf c.pos) in
-  c.pos <- c.pos + 8;
-  v
+let file_t : file_rec Ws.t =
+  Ws.conv
+    (fun ((((fr_vfd, fr_path), fr_fasync), fr_nonblock), fr_vmas) ->
+      { fr_vfd; fr_path; fr_fasync; fr_nonblock; fr_vmas })
+    (fun fr ->
+      ((((fr.fr_vfd, fr.fr_path), fr.fr_fasync), fr.fr_nonblock), fr.fr_vmas))
+    (Ws.pair
+       (Ws.pair
+          (Ws.pair
+             (Ws.pair
+                (Ws.u32c (fun v -> if v > max_files then malformed "vfd %d" v))
+                (Ws.strc (fun n -> if n > 256 then malformed "path length %d" n)))
+             Ws.boolean)
+          Ws.boolean)
+       (Ws.listc
+          (fun n -> if n > max_vmas_per_file then malformed "vma count %d" n)
+          vma_t))
 
-let r_string c =
-  let n = r32 c in
-  if n > 256 then malformed "path length %d" n;
-  need c n;
-  let s = String.sub c.buf c.pos n in
-  c.pos <- c.pos + n;
-  s
+let grant_op_t : Hypervisor.Grant_table.op Ws.t =
+  Ws.conv
+    (fun (code, (addr, len)) ->
+      if addr < 0 || len < 0 then malformed "negative grant field";
+      match code with
+      | 1 -> Hypervisor.Grant_table.Copy_to_user { addr; len }
+      | 2 -> Hypervisor.Grant_table.Copy_from_user { addr; len }
+      | 3 -> Hypervisor.Grant_table.Map_page { addr; len }
+      | n -> malformed "grant op kind %d" n)
+    (fun op -> (op_code op, op_fields op))
+    (Ws.pair Ws.u32 (Ws.pair Ws.i64 Ws.i64))
 
-let r_bool c = r32 c <> 0
+let grant_group_t : (int * Hypervisor.Grant_table.op list) Ws.t =
+  Ws.pair
+    (Ws.u32c (fun g ->
+         if g >= Hypervisor.Grant_table.capacity then malformed "grant ref %d" g))
+    (Ws.listc
+       (fun n -> if n > max_ops_per_group then malformed "op count %d" n)
+       grant_op_t)
 
-(* ---- encode ---- *)
+let header_t : (int * int) Ws.t =
+  Ws.pair
+    (Ws.u32c (fun m -> if m <> magic then malformed "bad magic 0x%x" m))
+    (Ws.u32c (fun v ->
+         if v <> version then malformed "unsupported snapshot version %d" v))
+
+let counters_t :
+    (((int * int) * (int * int)) * ((int * int) * (int * int))) Ws.t =
+  Ws.pair
+    (Ws.pair (Ws.pair Ws.u32 Ws.u32) (Ws.pair Ws.u32 Ws.u32))
+    (Ws.pair (Ws.pair Ws.u32 Ws.u32) (Ws.pair Ws.u32 Ws.u32))
+
+let snap_t : link_snap Ws.t =
+  Ws.conv
+    (fun ( ( _header,
+             ( ( ((ls_guest_vm_id, ls_next_vfd), (ls_ops_served, ls_malformed)),
+                 ( (ls_rejected, ls_grant_faults),
+                   (ls_quota_breaches, ls_score) ) ),
+               ls_quarantined ) ),
+           (ls_files, ls_grants) ) ->
+      {
+        ls_guest_vm_id;
+        ls_next_vfd;
+        ls_ops_served;
+        ls_malformed;
+        ls_rejected;
+        ls_grant_faults;
+        ls_quota_breaches;
+        ls_score;
+        ls_quarantined;
+        ls_files;
+        ls_grants;
+      })
+    (fun s ->
+      ( ( (magic, version),
+          ( ( ( (s.ls_guest_vm_id, s.ls_next_vfd),
+                (s.ls_ops_served, s.ls_malformed) ),
+              ( (s.ls_rejected, s.ls_grant_faults),
+                (s.ls_quota_breaches, s.ls_score) ) ),
+            s.ls_quarantined ) ),
+        (s.ls_files, s.ls_grants) ))
+    (Ws.pair
+       (Ws.pair header_t (Ws.pair counters_t Ws.boolean))
+       (Ws.pair
+          (Ws.listc (fun n -> if n > max_files then malformed "file count %d" n) file_t)
+          (Ws.listc
+             (fun n -> if n > max_grant_groups then malformed "grant group count %d" n)
+             grant_group_t)))
+
+(* ---- derived codec ---- *)
 
 let encode (snap : link_snap) : string =
   let b = Buffer.create 256 in
-  w32 b magic;
-  w32 b version;
-  w32 b snap.ls_guest_vm_id;
-  w32 b snap.ls_next_vfd;
-  w32 b snap.ls_ops_served;
-  w32 b snap.ls_malformed;
-  w32 b snap.ls_rejected;
-  w32 b snap.ls_grant_faults;
-  w32 b snap.ls_quota_breaches;
-  w32 b snap.ls_score;
-  w_bool b snap.ls_quarantined;
-  w32 b (List.length snap.ls_files);
-  List.iter
-    (fun fr ->
-      w32 b fr.fr_vfd;
-      w_string b fr.fr_path;
-      w_bool b fr.fr_fasync;
-      w_bool b fr.fr_nonblock;
-      w32 b (List.length fr.fr_vmas);
-      List.iter
-        (fun (gva, len, pgoff) ->
-          w64 b gva;
-          w64 b len;
-          w64 b pgoff)
-        fr.fr_vmas)
-    snap.ls_files;
-  w32 b (List.length snap.ls_grants);
-  List.iter
-    (fun (grant_ref, ops) ->
-      w32 b grant_ref;
-      w32 b (List.length ops);
-      List.iter
-        (fun op ->
-          let addr, len = op_fields op in
-          w32 b (op_code op);
-          w64 b addr;
-          w64 b len)
-        ops)
-    snap.ls_grants;
+  Ws.write b snap_t snap;
   Buffer.contents b
 
-(* ---- decode ---- *)
-
 let decode (blob : string) : link_snap =
-  let c = { buf = blob; pos = 0 } in
-  let m = r32 c in
-  if m <> magic then malformed "bad magic 0x%x" m;
-  let v = r32 c in
-  if v <> version then malformed "unsupported snapshot version %d" v;
-  let ls_guest_vm_id = r32 c in
-  let ls_next_vfd = r32 c in
-  let ls_ops_served = r32 c in
-  let ls_malformed = r32 c in
-  let ls_rejected = r32 c in
-  let ls_grant_faults = r32 c in
-  let ls_quota_breaches = r32 c in
-  let ls_score = r32 c in
-  let ls_quarantined = r_bool c in
-  let nfiles = r32 c in
-  if nfiles > max_files then malformed "file count %d" nfiles;
-  let files =
-    List.init nfiles (fun _ ->
-        let fr_vfd = r32 c in
-        if fr_vfd < 0 || fr_vfd > max_files then malformed "vfd %d" fr_vfd;
-        let fr_path = r_string c in
-        let fr_fasync = r_bool c in
-        let fr_nonblock = r_bool c in
-        let nvmas = r32 c in
-        if nvmas > max_vmas_per_file then malformed "vma count %d" nvmas;
-        let fr_vmas =
-          List.init nvmas (fun _ ->
-              let gva = r64 c in
-              let len = r64 c in
-              let pgoff = r64 c in
-              if len < 0 || gva < 0 || pgoff < 0 then
-                malformed "negative vma field";
-              (gva, len, pgoff))
-        in
-        { fr_vfd; fr_path; fr_fasync; fr_nonblock; fr_vmas })
+  let c = Ws.cursor blob in
+  let snap =
+    (* field checks raise our own Malformed; the stream reader raises
+       Wire_spec.Malformed on truncation — map it onto ours so callers
+       see a single exception *)
+    try Ws.read c snap_t with Wire_spec.Malformed m -> raise (Malformed m)
   in
-  let ngrants = r32 c in
-  if ngrants > max_grant_groups then malformed "grant group count %d" ngrants;
-  let grants =
-    List.init ngrants (fun _ ->
-        let grant_ref = r32 c in
-        if grant_ref < 0 || grant_ref >= Hypervisor.Grant_table.capacity then
-          malformed "grant ref %d" grant_ref;
-        let nops = r32 c in
-        if nops > max_ops_per_group then malformed "op count %d" nops;
-        let ops =
-          List.init nops (fun _ ->
-              let code = r32 c in
-              let addr = r64 c in
-              let len = r64 c in
-              if addr < 0 || len < 0 then malformed "negative grant field";
-              match code with
-              | 1 -> Hypervisor.Grant_table.Copy_to_user { addr; len }
-              | 2 -> Hypervisor.Grant_table.Copy_from_user { addr; len }
-              | 3 -> Hypervisor.Grant_table.Map_page { addr; len }
-              | n -> malformed "grant op kind %d" n)
-        in
-        (grant_ref, ops))
-  in
-  if c.pos <> String.length blob then
-    malformed "%d trailing bytes" (String.length blob - c.pos);
-  {
-    ls_guest_vm_id;
-    ls_next_vfd;
-    ls_ops_served;
-    ls_malformed;
-    ls_rejected;
-    ls_grant_faults;
-    ls_quota_breaches;
-    ls_score;
-    ls_quarantined;
-    ls_files = files;
-    ls_grants = grants;
-  }
+  if c.Ws.pos <> String.length blob then
+    malformed "%d trailing bytes" (String.length blob - c.Ws.pos);
+  snap

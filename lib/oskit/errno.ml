@@ -14,6 +14,7 @@ type t =
   | EBUSY
   | ENODEV
   | EINVAL
+  | ENAMETOOLONG
   | ENOTTY
   | ENOSPC
   | EOVERFLOW
@@ -32,6 +33,7 @@ let to_code = function
   | EBUSY -> 16
   | ENODEV -> 19
   | EINVAL -> 22
+  | ENAMETOOLONG -> 36
   | ENOTTY -> 25
   | ENOSPC -> 28
   | EOVERFLOW -> 75
@@ -47,6 +49,7 @@ let of_code = function
   | 16 -> Some EBUSY
   | 19 -> Some ENODEV
   | 22 -> Some EINVAL
+  | 36 -> Some ENAMETOOLONG
   | 25 -> Some ENOTTY
   | 28 -> Some ENOSPC
   | 75 -> Some EOVERFLOW
@@ -63,6 +66,7 @@ let to_string = function
   | EBUSY -> "EBUSY"
   | ENODEV -> "ENODEV"
   | EINVAL -> "EINVAL"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
   | ENOTTY -> "ENOTTY"
   | ENOSPC -> "ENOSPC"
   | EOVERFLOW -> "EOVERFLOW"

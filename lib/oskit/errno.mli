@@ -11,6 +11,7 @@ type t =
   | EBUSY
   | ENODEV
   | EINVAL
+  | ENAMETOOLONG
   | ENOTTY
   | ENOSPC
   | EOVERFLOW

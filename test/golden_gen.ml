@@ -1,0 +1,104 @@
+(* One-shot generator: prints the golden wire corpus (hex) from the
+   current encoders, for embedding into test_props.ml.  Not part of any
+   suite. *)
+
+module P = Paradice.Proto
+module S = Paradice.Snapshot
+
+let hex b =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+    (List.init (Bytes.length b) (Bytes.get b)))
+
+let requests =
+  [
+    ("open", 3, 7, P.Ropen { path = "/dev/input/event0" });
+    ("release", 0, 9, P.Rrelease { vfd = 5 });
+    ("read", 1, 42, P.Rread { vfd = 3; buf = 0x1234; len = 77 });
+    ("write", 2, 42, P.Rwrite { vfd = 4; buf = 0xBEEF00; len = 4096 });
+    ("ioctl", 1, 42, P.Rioctl { vfd = 1; cmd = 0xC018640B; arg = 0x1122334455667788L });
+    ("mmap", 4, 11, P.Rmmap { vfd = 2; gva = 0x40000000; len = 8192; pgoff = 256 });
+    ("fault", 4, 11, P.Rfault { vfd = 2; gva = 0x40001000 });
+    ("munmap", 4, 11, P.Rmunmap { vfd = 2; gva = 0x40000000; len = 8192 });
+    ("poll", 0, 13, P.Rpoll { vfd = 9; want_in = true; want_out = false; timeout_us = 123.5 });
+    ("fasync", 0, 13, P.Rfasync { vfd = 4; on = true });
+    ("noop", 0, 1, P.Rnoop);
+    ( "batch7", 5, 21,
+      P.Rbatch
+        [
+          P.Rnoop;
+          P.Rread { vfd = 3; buf = 0x1234; len = 77 };
+          P.Rioctl { vfd = 1; cmd = 0xC018640B; arg = 0x1122334455667788L };
+          P.Rpoll { vfd = 9; want_in = false; want_out = true; timeout_us = 250. };
+          P.Rfasync { vfd = 4; on = false };
+          P.Rrelease { vfd = 5 };
+          P.Rwrite { vfd = 4; buf = 0xBEEF00; len = 512 };
+        ] );
+    ("batch32", 6, 22, P.Rbatch (List.init 32 (fun _ -> P.Rnoop)));
+  ]
+
+let responses =
+  [
+    ("ok", P.Rok 123);
+    ("ok_big", P.Rok 0x1234567890);
+    ("err", P.Rerr 22);
+    ("poll_reply", P.Rpoll_reply { pollin = true; pollout = false });
+    ( "batch_reply",
+      P.Rbatch_reply
+        [ P.Rok 1; P.Rerr 5; P.Rpoll_reply { pollin = false; pollout = true }; P.Rok 0 ] );
+  ]
+
+let sample_snap =
+  {
+    S.ls_guest_vm_id = 7;
+    ls_next_vfd = 6;
+    ls_ops_served = 420;
+    ls_malformed = 1;
+    ls_rejected = 2;
+    ls_grant_faults = 0;
+    ls_quota_breaches = 3;
+    ls_score = 11;
+    ls_quarantined = false;
+    ls_files =
+      [
+        {
+          S.fr_vfd = 1;
+          fr_path = "/dev/input/event0";
+          fr_fasync = true;
+          fr_nonblock = false;
+          fr_vmas = [];
+        };
+        {
+          S.fr_vfd = 5;
+          fr_path = "/dev/dri/card0";
+          fr_fasync = false;
+          fr_nonblock = true;
+          fr_vmas = [ (0x40000000, 8192, 0); (0x50000000, 4096, 16) ];
+        };
+      ];
+    ls_grants =
+      [
+        ( 2,
+          [
+            Hypervisor.Grant_table.Copy_to_user { addr = 0x1000; len = 64 };
+            Hypervisor.Grant_table.Copy_from_user { addr = 0x2000; len = 128 };
+          ] );
+        (5, [ Hypervisor.Grant_table.Map_page { addr = 0x3000; len = 4096 } ]);
+      ];
+  }
+
+let () =
+  print_endline "let golden_requests = [";
+  List.iter
+    (fun (name, gref, pid, req) ->
+      Printf.printf "  (%S, %d, %d,\n   %S);\n" name gref pid
+        (hex (P.encode_request ~grant_ref:gref ~pid req)))
+    requests;
+  print_endline "]";
+  print_endline "let golden_responses = [";
+  List.iter
+    (fun (name, resp) ->
+      Printf.printf "  (%S,\n   %S);\n" name (hex (P.encode_response resp)))
+    responses;
+  print_endline "]";
+  Printf.printf "let golden_snapshot =\n  %S\n"
+    (hex (Bytes.of_string (S.encode sample_snap)))

@@ -19,8 +19,19 @@
       quarantine.  The victim's elapsed (simulated) time must stay
       within 20% of the solo baseline.
 
-   A machine-readable summary is written to HOSTILE_fuzz.json for the
-   CI artifact. *)
+   4. Grammar-aware mutation: descriptors from the spec-derived
+      generator ([Proto.Fuzz]) — a valid skeleton with one element
+      driven hostile (a header word, a batch count, a record length or
+      tag, or one declared field under its own policy) — injected into
+      live ring slots with [Channel.inject_raw] while the real workers
+      consume.  The [Wire_spec.Coverage] registry records which decode
+      branches and sanitizer rejects each seed reaches; the same
+      harness re-run with the blind byte-flip mutator is the baseline,
+      and the grammar campaign must reach strictly more distinct
+      decode branches.
+
+   A machine-readable summary (including per-seed coverage) is written
+   to HOSTILE_fuzz.json for the CI artifact. *)
 
 module M = Paradice.Machine
 module CB = Paradice.Cvd_back
@@ -251,6 +262,78 @@ let through_ring_attack seed =
     violation "through-ring seed=%#Lx: expected 1 quarantine, audit says %d"
       seed audit.Hypervisor.Audit.quarantines
 
+(* ---- campaign 4: grammar-aware mutation coverage ---- *)
+
+module W = Paradice.Wire_spec
+
+let is_decode_label l =
+  String.starts_with ~prefix:"decode." l || String.starts_with ~prefix:"reject." l
+
+let is_sanitize_label l = String.starts_with ~prefix:"sanitize." l
+
+(* One injection run: [descriptors_per_seed] slots written with
+   [Channel.inject_raw] while the backend workers consume them.
+   Quarantine is disabled (threshold 0) so decoding never stops at the
+   first misbehavior score — the point is grammar coverage, not the
+   quarantine reflex (campaign 2 owns that). *)
+let inject_campaign ~tag ~descriptor seed =
+  let config =
+    {
+      Paradice.Config.default with
+      Paradice.Config.quarantine_threshold = 0;
+    }
+  in
+  let m = M.create ~config () in
+  let (_ : Defs.device) = M.attach_null m in
+  let g = M.add_guest m ~name:tag () in
+  let rng = Sim.Rng.create ~seed in
+  let injected = ref 0 in
+  Sim.Engine.spawn (M.engine m) (fun () ->
+      let app = M.spawn_app m g.M.kernel ~name:(tag ^ "-app") in
+      let pid = app.Defs.pid in
+      while !injected < descriptors_per_seed do
+        Paradice.Chan_pool.iter_channels g.M.link.CB.pool (fun c ->
+            for slot = 0 to Paradice.Channel.ring_slots c - 1 do
+              if !injected < descriptors_per_seed then begin
+                Paradice.Channel.inject_raw c ~slot (descriptor rng ~pid);
+                incr injected
+              end
+            done);
+        Sim.Engine.wait 50.
+      done);
+  try Sim.Engine.run ~until:10_000_000. (M.engine m)
+  with e ->
+    violation "%s seed=%#Lx: exception escaped the engine: %s" tag seed
+      (Printexc.to_string e)
+
+(* Run one mutator over every seed with coverage on; returns the
+   per-seed (decode, sanitize) distinct-branch counts and the
+   campaign-wide unions. *)
+let coverage_campaign ~tag ~descriptor =
+  let union : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  W.Coverage.enable ();
+  let per_seed =
+    List.map
+      (fun seed ->
+        W.Coverage.reset ();
+        inject_campaign ~tag ~descriptor seed;
+        let snap = W.Coverage.snapshot () in
+        List.iter (fun (l, _) -> Hashtbl.replace union l ()) snap;
+        let count p = List.length (List.filter (fun (l, _) -> p l) snap) in
+        (seed, count is_decode_label, count is_sanitize_label))
+      seeds
+  in
+  W.Coverage.disable ();
+  let union_count p =
+    Hashtbl.fold (fun l () acc -> if p l then acc + 1 else acc) union 0
+  in
+  (per_seed, union_count is_decode_label, union_count is_sanitize_label)
+
+let grammar_descriptor rng ~pid =
+  P.Fuzz.descriptor rng ~grant_ref:(Sim.Rng.int rng 8) ~pid
+
+let blind_descriptor rng ~pid = mutated_descriptor rng ~pid
+
 (* ---- campaign 3: victim throughput vs. solo baseline ---- *)
 
 (* Same two-guest machine; the victim runs a fixed noop workload.  When
@@ -302,6 +385,17 @@ let victim_elapsed ~attack =
 let () =
   List.iter fuzz_seed seeds;
   List.iter through_ring_attack [ 0x1AB0_0001L; 0x1AB0_0002L ];
+  let grammar_per_seed, grammar_decode, grammar_sanitize =
+    coverage_campaign ~tag:"grammar" ~descriptor:grammar_descriptor
+  in
+  let _, blind_decode, blind_sanitize =
+    coverage_campaign ~tag:"blind" ~descriptor:blind_descriptor
+  in
+  if grammar_decode <= blind_decode then
+    violation
+      "grammar-aware mutator reached %d distinct decode branches, blind \
+       byte-flips reached %d — grammar must be strictly ahead"
+      grammar_decode blind_decode;
   let solo_us = victim_elapsed ~attack:false in
   let attacked_us = victim_elapsed ~attack:true in
   let ratio = attacked_us /. solo_us in
@@ -324,12 +418,29 @@ let () =
   "victim_solo_us": %.1f,
   "victim_attacked_us": %.1f,
   "victim_ratio": %.4f,
+  "grammar_fuzz": {
+    "per_seed": [
+%s
+    ],
+    "decode_branches": %d,
+    "sanitize_branches": %d,
+    "blind_decode_branches": %d,
+    "blind_sanitize_branches": %d
+  },
   "violations": %d
 }
 |}
     (List.length seeds) descriptors_per_seed totals.served totals.ok totals.err
     totals.poll_replies totals.malformed totals.sanitize_rejected totals.escapes
-    solo_us attacked_us ratio n_violations;
+    solo_us attacked_us ratio
+    (String.concat ",\n"
+       (List.map
+          (fun (seed, decode, sanitize) ->
+            Printf.sprintf
+              {|      { "seed": "%#Lx", "decode_branches": %d, "sanitize_rejects": %d }|}
+              seed decode sanitize)
+          grammar_per_seed))
+    grammar_decode grammar_sanitize blind_decode blind_sanitize n_violations;
   close_out oc;
   Printf.printf
     "hostile suite: %d seeds x %d descriptors, %d served (ok=%d err=%d \
@@ -338,6 +449,10 @@ let () =
     totals.poll_replies totals.malformed totals.sanitize_rejected totals.escapes;
   Printf.printf "hostile suite: victim solo=%.1fus attacked=%.1fus ratio=%.3f\n"
     solo_us attacked_us ratio;
+  Printf.printf
+    "hostile suite: grammar fuzz decode=%d sanitize=%d branches (blind \
+     decode=%d sanitize=%d)\n"
+    grammar_decode grammar_sanitize blind_decode blind_sanitize;
   match !violations with
   | [] -> print_endline "hostile suite: OK"
   | vs ->
