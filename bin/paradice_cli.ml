@@ -5,7 +5,7 @@
      bench     run one workload under a chosen configuration
      trace     run a traced workload, export Chrome trace-event JSON
      fleet     run the sharded fleet workload across parallel shards
-     analyze   run the ioctl analyzer over the Radeon driver IR
+     analyze   print per-class ioctl interface facts + the Radeon table
      versions  compare file-operation vocabularies across kernels *)
 
 open Cmdliner
@@ -271,6 +271,8 @@ let fleet shards guests ops seed alpha domains =
 (* ---- analyze ---- *)
 
 let analyze () =
+  print_string (Analyzer.Facts.render_table (Lazy.force Analyzer.Classes.facts));
+  print_newline ();
   let table = Analyzer.Extract.analyze Analyzer.Radeon_ir.driver_3_2_0 in
   Printf.printf "radeon %s: %d static, %d JIT handlers; %d extracted lines\n\n"
     table.Analyzer.Extract.version table.Analyzer.Extract.static_count
@@ -337,7 +339,12 @@ let fleet_cmd =
        $ fleet_alpha $ fleet_domains))
 
 let analyze_cmd =
-  Cmd.v (Cmd.info "analyze" ~doc:"Run the ioctl analyzer over the Radeon driver IR")
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Print the analyzer's per-class ioctl interface facts (pointer, \
+          length, index and range fields; generated checks) and the Radeon \
+          static/JIT table")
     Term.(ret (const analyze $ const ()))
 
 let versions_cmd =

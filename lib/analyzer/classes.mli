@@ -1,0 +1,7 @@
+(** Registry of analyzed device classes: IR drivers and their
+    extracted interface facts, keyed by [Defs.dev_class]. *)
+
+val all : (string * Ir.driver) list
+val facts : (string * Facts.t) list Lazy.t
+val facts_for : string -> Facts.t option
+val fact_for : dev_class:string -> cmd:int -> Facts.handler_fact option

@@ -112,6 +112,15 @@ let cs_handler =
         Let ("chunks_ptr",
              Field { buf = "cs"; offset = Const Devices.Radeon_ioctl.cs_off_chunks_ptr;
                      width = 8 });
+        (* the handler's own validity test (num_chunks in [1,16]);
+           wrapping only an Hw_op keeps the slice — and the extracted
+           operation list — unchanged while the fact extraction
+           recovers the range from the conditionals *)
+        If { cond = Lt (Const 0, Var "num_chunks");
+             then_ =
+               [ If { cond = Lt (Var "num_chunks", Const 17);
+                      then_ = [ Hw_op "chunk count validated" ]; else_ = [] } ];
+             else_ = [] };
         Copy_from_user
           { dst_buf = "ptrs"; src = Var "chunks_ptr";
             len = Mul (Var "num_chunks", Const 8) };

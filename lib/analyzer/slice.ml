@@ -88,26 +88,51 @@ let has_nested_ops slice =
   let tainted_dep tainted e =
     not (StrSet.is_empty (StrSet.inter (expr_deps e) tainted))
   in
-  let rec scan tainted = function
-    | [] -> false
-    | stmt :: rest ->
-        (match stmt with
+  (* [sl] ("straight-line"): at the top level of the slice a [Let] is
+     the only definition reaching later uses, so rebinding a variable
+     to an untainted value kills its taint.  Inside a branch or a loop
+     body the kill would be unsound — the other branch, or the loop
+     back-edge, may still deliver the tainted binding — so taint stays
+     grow-only there (the documented safe over-approximation). *)
+  let rec scan ~sl tainted = function
+    | [] -> (false, tainted)
+    | stmt :: rest -> (
+        match stmt with
         | Copy_from_user { src; len; dst_buf } ->
-            tainted_dep tainted src || tainted_dep tainted len
-            || scan (StrSet.add dst_buf tainted) rest
+            if tainted_dep tainted src || tainted_dep tainted len then (true, tainted)
+            else scan ~sl (StrSet.add dst_buf tainted) rest
         | Copy_to_user { dst; len; _ } ->
-            tainted_dep tainted dst || tainted_dep tainted len || scan tainted rest
+            if tainted_dep tainted dst || tainted_dep tainted len then (true, tainted)
+            else scan ~sl tainted rest
         | Let (v, e) ->
-            let tainted = if tainted_dep tainted e then StrSet.add v tainted else tainted in
-            scan tainted rest
+            let tainted =
+              if tainted_dep tainted e then StrSet.add v tainted
+              else if sl then StrSet.remove v tainted
+              else tainted
+            in
+            scan ~sl tainted rest
         | For { body; count; _ } ->
-            tainted_dep tainted count || scan tainted (body @ rest)
-        | If { then_; else_; _ } -> scan tainted (then_ @ else_ @ rest)
-        | Store_field _ | Hw_op _ -> scan tainted rest)
+            if tainted_dep tainted count then (true, tainted)
+            else
+              (* iterate the body to a taint fixpoint so a binding
+                 tainted late in iteration k is seen by uses early in
+                 iteration k+1 *)
+              let rec fix tset =
+                let nested, t' = scan ~sl:false tset body in
+                if nested then (true, t')
+                else if StrSet.equal t' tset then (false, t')
+                else fix t'
+              in
+              let nested, t' = fix tainted in
+              if nested then (true, t') else scan ~sl t' rest
+        | If { then_; else_; _ } ->
+            let n1, t1 = scan ~sl:false tainted then_ in
+            if n1 then (true, t1)
+            else
+              let n2, t2 = scan ~sl:false tainted else_ in
+              if n2 then (true, t2) else scan ~sl (StrSet.union t1 t2) rest
+        | Store_field _ | Hw_op _ -> scan ~sl tainted rest)
   in
-  (* N.B. [tainted] only grows along the scan; buffers filled inside
-     branches are treated as filled afterwards, which over-approximates
-     (safe: "nested" classification can only widen). *)
-  scan StrSet.empty slice
+  fst (scan ~sl:true StrSet.empty slice)
 
 let extracted_lines slice = Ir.stmt_count slice

@@ -6,7 +6,10 @@ val of_handler : Ir.handler -> Ir.stmt list
 
 (** Does the slice contain nested copies — an operation whose
     address/length derives (transitively) from data an earlier copy
-    brought in?  Over-approximates via taint, which is safe. *)
+    brought in?  Over-approximates via taint, which is safe: a
+    straight-line [Let] rebinding a variable to an untainted value
+    kills its taint, but bindings inside branches or loop bodies stay
+    tainted (the other path may still deliver the tainted value). *)
 val has_nested_ops : Ir.stmt list -> bool
 
 (** The "lines of extracted code" metric (~760 for the paper's

@@ -86,6 +86,10 @@ type t = {
   sanitize_requests : bool; (* run the post-decode sanitization pass on
                                 every forwarded operation (ablation knob;
                                 the paper's backend always validates) *)
+  ioctl_guards : bool; (* run the analyzer-generated per-ioctl argument
+                           sanitizers in front of the device handlers
+                           (ablation knob for the §5.1-facts → runtime
+                           checking loop) *)
   max_transfer_bytes : int; (* largest read/write a guest may request;
                                 bounds backend allocation per operation *)
   poll_timeout_cap_us : float; (* forwarded poll timeouts are clamped
@@ -155,6 +159,7 @@ let default =
     poll_forward_chunk_us = 5_000.;
     poll_forward_backoff_us = 50.;
     sanitize_requests = true;
+    ioctl_guards = true;
     max_transfer_bytes = 4 * 1024 * 1024;
     poll_timeout_cap_us = 60_000_000.;
     max_open_vfds = 128;

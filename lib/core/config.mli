@@ -53,6 +53,9 @@ type t = {
       (** frontend sleep between not-ready poll chunks (spin bound) *)
   sanitize_requests : bool;
       (** post-decode request sanitization pass (ablation knob) *)
+  ioctl_guards : bool;
+      (** analyzer-generated per-ioctl argument sanitizers in front of
+          the device handlers (ablation knob) *)
   max_transfer_bytes : int;
       (** largest read/write a guest may request (allocation bound) *)
   poll_timeout_cap_us : float;

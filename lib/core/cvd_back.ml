@@ -198,6 +198,33 @@ let find_file link vfd =
    used across workers. *)
 let wrap f = try Proto.Rok (f ()) with Errno.Unix_error (e, _) -> Proto.Rerr (Errno.to_code e)
 
+(* The analyzer-generated per-ioctl argument sanitizer (the §5.1
+   facts → §4 runtime-checking loop): evaluated before the handler
+   runs, reading the guest argument struct straight through the
+   hypervisor — uncharged and grant-free, so the handler still
+   performs (and is billed for) the real grant-checked copies and
+   clean workloads keep bit-identical simulated times.  Returns [Some
+   response] when the guard rejects; a rejection rides the same
+   misbehavior-scoring path as transport-level sanitization. *)
+let guard_ioctl t link worker fs ~cmd ~arg =
+  if not t.config.Config.ioctl_guards then None
+  else
+    match worker.Defs.remote with
+    | None -> None (* local caller: its memory is its own *)
+    | Some rc -> (
+        let dev_class = fs.file.Defs.dev.Defs.dev_class in
+        let read ~addr ~len =
+          Hypervisor.Vm.read_gva rc.Defs.rc_target ~pt:rc.Defs.rc_pt ~gva:addr ~len
+        in
+        match Ioctl_guard.check ~dev_class ~cmd ~arg ~limits:t.limits ~read with
+        | Ioctl_guard.Pass -> None
+        | Ioctl_guard.Reject { handler; violated = _ } ->
+            link.rejected <- link.rejected + 1;
+            note_sanitize_rejection t;
+            m_incr t (Printf.sprintf "sanitize.%s.%s" dev_class handler);
+            note_misbehavior t link worker score_rejected;
+            Some (Proto.Rerr (Errno.to_code Errno.EINVAL)))
+
 let rec dispatch t link worker (req : Proto.request) : Proto.response =
   let kernel = t.kernel in
   match req with
@@ -308,11 +335,14 @@ let rec dispatch t link worker (req : Proto.request) : Proto.response =
       wrap (fun () ->
           Kernel.charge_syscall kernel;
           fs.file.Defs.dev.Defs.ops.Defs.fop_write worker fs.file ~buf ~len)
-  | Proto.Rioctl { vfd; cmd; arg } ->
+  | Proto.Rioctl { vfd; cmd; arg } -> (
       let fs = find_file link vfd in
-      wrap (fun () ->
-          Kernel.charge_syscall kernel;
-          fs.file.Defs.dev.Defs.ops.Defs.fop_ioctl worker fs.file ~cmd ~arg)
+      match guard_ioctl t link worker fs ~cmd ~arg with
+      | Some rejection -> rejection
+      | None ->
+          wrap (fun () ->
+              Kernel.charge_syscall kernel;
+              fs.file.Defs.dev.Defs.ops.Defs.fop_ioctl worker fs.file ~cmd ~arg))
   | Proto.Rmmap { vfd; gva; len; pgoff } ->
       let fs = find_file link vfd in
       (* Mirror the guest VMA; addresses stay in the guest's virtual

@@ -830,8 +830,8 @@ let attach_mouse t =
       driver = "evdev/usbmouse";
       exclusive = false;
       kinds =
-        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Poll;
-          Os_flavor.Fasync ];
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Ioctl;
+          Os_flavor.Poll; Os_flavor.Fasync ];
       entries = None;
       info = Device_info.input ~name:"Dell USB Mouse" ~product:0x3012;
     };
@@ -851,8 +851,8 @@ let attach_keyboard t =
       driver = "evdev/usbkbd";
       exclusive = false;
       kinds =
-        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Poll;
-          Os_flavor.Fasync ];
+        [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Ioctl;
+          Os_flavor.Poll; Os_flavor.Fasync ];
       entries = None;
       info = Device_info.input ~name:"Dell USB Keyboard" ~product:0x2105;
     };

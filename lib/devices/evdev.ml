@@ -35,6 +35,25 @@ let decode_event b off =
     value = Int32.to_int (Bytes.get_int32_le b (off + 12));
   }
 
+(* The evdev ioctl surface: identity, autorepeat, and exclusive grab —
+   the commands an input stack issues besides the read loop. *)
+let eviocgid = Ioctl_num.ior ~typ:'E' ~nr:0x02 ~size:8
+(* { bustype u16; vendor u16; product u16; version u16 } *)
+
+let eviocgrep = Ioctl_num.ior ~typ:'E' ~nr:0x03 ~size:8
+let eviocsrep = Ioctl_num.iow ~typ:'E' ~nr:0x03 ~size:8
+(* { delay_ms u32; period_ms u32 } *)
+
+let eviocgrab = Ioctl_num.iow ~typ:'E' ~nr:0x90 ~size:4
+(* value argument: nonzero grabs, zero releases *)
+
+let rep_delay_max = 5000
+let rep_period_max = 1000
+let id_bustype = 0x03 (* USB *)
+let id_vendor = 0x1d6b
+let id_product = 0x0104
+let id_version = 0x0111
+
 type t = {
   kernel : Kernel.t;
   name : string;
@@ -51,6 +70,10 @@ type t = {
      when the matching read reaches the driver (§6.1.5's methodology) *)
   mutable pending_report_times : float list;
   mutable read_latencies : float list;
+  (* ioctl-visible state *)
+  mutable rep_delay : int;
+  mutable rep_period : int;
+  mutable grabbed : Defs.file option; (* EVIOCGRAB holder *)
 }
 
 let create ?(delivery_latency_us = 0.) kernel ~name =
@@ -65,6 +88,9 @@ let create ?(delivery_latency_us = 0.) kernel ~name =
     max_queue = 1024;
     pending_report_times = [];
     read_latencies = [];
+    rep_delay = 250;
+    rep_period = 33;
+    grabbed = None;
   }
 
 let read_latencies t = t.read_latencies
@@ -94,19 +120,70 @@ let inject t e =
   if t.delivery_latency_us <= 0. then deliver ()
   else Sim.Engine.at eng ~delay:t.delivery_latency_us deliver
 
+let autorepeat t = (t.rep_delay, t.rep_period)
+
 let file_ops t =
   {
     Defs.default_ops with
     Defs.fop_kinds =
-      [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Poll;
-        Os_flavor.Fasync ];
+      [ Os_flavor.Open; Os_flavor.Release; Os_flavor.Read; Os_flavor.Ioctl;
+        Os_flavor.Poll; Os_flavor.Fasync ];
     fop_open = (fun _task file -> t.open_files <- file :: t.open_files);
     fop_release =
       (fun _task file ->
         t.open_files <- List.filter (fun f -> f != file) t.open_files;
+        (* a grab dies with its holder *)
+        (match t.grabbed with Some f when f == file -> t.grabbed <- None | _ -> ());
         (* wake readers parked on this queue so one sleeping on the
            just-closed file observes it instead of hanging forever *)
         Wait_queue.wake_all t.wq);
+    fop_ioctl =
+      (fun task file ~cmd ~arg ->
+        if cmd = eviocgid then begin
+          let b = Bytes.create 8 in
+          Bytes.set_uint16_le b 0 id_bustype;
+          Bytes.set_uint16_le b 2 id_vendor;
+          Bytes.set_uint16_le b 4 id_product;
+          Bytes.set_uint16_le b 6 id_version;
+          Uaccess.copy_to_user task ~uaddr:(Int64.to_int arg) b;
+          0
+        end
+        else if cmd = eviocgrep then begin
+          let b = Bytes.create 8 in
+          Bytes.set_int32_le b 0 (Int32.of_int t.rep_delay);
+          Bytes.set_int32_le b 4 (Int32.of_int t.rep_period);
+          Uaccess.copy_to_user task ~uaddr:(Int64.to_int arg) b;
+          0
+        end
+        else if cmd = eviocsrep then begin
+          let data = Uaccess.copy_from_user task ~uaddr:(Int64.to_int arg) ~len:8 in
+          let delay = Int32.to_int (Bytes.get_int32_le data 0)
+          and period = Int32.to_int (Bytes.get_int32_le data 4) in
+          (* delay/period are u32s on the wire: an Int32 sign wrap lands
+             below the lower bound and is rejected here *)
+          if delay < 0 || delay > rep_delay_max then
+            Errno.fail Errno.EINVAL "bad autorepeat delay";
+          if period < 1 || period > rep_period_max then
+            Errno.fail Errno.EINVAL "bad autorepeat period";
+          t.rep_delay <- delay;
+          t.rep_period <- period;
+          0
+        end
+        else if cmd = eviocgrab then begin
+          (* the argument is a value, not a pointer *)
+          if Int64.compare arg 0L <> 0 then (
+            match t.grabbed with
+            | Some f when f != file -> Errno.fail Errno.EBUSY "device grabbed"
+            | _ ->
+                t.grabbed <- Some file;
+                0)
+          else (
+            (match t.grabbed with
+            | Some f when f == file -> t.grabbed <- None
+            | _ -> ());
+            0)
+        end
+        else Errno.fail Errno.ENOTTY "unknown evdev ioctl");
     fop_read =
       (fun task file ~buf ~len ->
         let max_events = len / event_bytes in

@@ -12,6 +12,20 @@ val event_bytes : int
 val encode_event : event -> bytes
 val decode_event : bytes -> int -> event
 
+(** The evdev ioctl surface: identity, autorepeat get/set, exclusive
+    grab (value argument: nonzero grabs, zero releases). *)
+
+val eviocgid : int
+val eviocgrep : int
+val eviocsrep : int
+val eviocgrab : int
+val rep_delay_max : int
+val rep_period_max : int
+val id_bustype : int
+val id_vendor : int
+val id_product : int
+val id_version : int
+
 type t
 
 (** [delivery_latency_us]: USB + input-core path between the physical
@@ -29,6 +43,9 @@ val pending_events : t -> int
 
 (** Events lost to queue overflow. *)
 val dropped_events : t -> int
+
+(** Current autorepeat [(delay_ms, period_ms)]. *)
+val autorepeat : t -> int * int
 
 (** Hardware-side event injection. *)
 val inject : t -> event -> unit

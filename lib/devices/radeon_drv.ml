@@ -438,8 +438,14 @@ let handle_gem_close t task file ~arg =
 (** Parse the IB chunk into GPU commands, resolving reloc indices
     through the RELOCS chunk. *)
 let parse_ib t task file ~ib ~relocs =
-  let u32 i = Int32.to_int (Bytes.get_int32_le ib (i * 4)) land 0xffffffff in
   let n = Bytes.length ib / 4 in
+  (* every dword index comes from guest-controlled packet headers
+     (including ntex below, which scales a read run): reads past the
+     chunk are malformed submissions, not programming errors *)
+  let u32 i =
+    if i < 0 || i >= n then Errno.fail Errno.EINVAL "truncated IB packet";
+    Int32.to_int (Bytes.get_int32_le ib (i * 4)) land 0xffffffff
+  in
   let reloc_bo idx =
     if idx < 0 || idx >= Array.length relocs then
       Errno.fail Errno.EINVAL "reloc index out of range";
@@ -454,6 +460,9 @@ let parse_ib t task file ~ib ~relocs =
       and width = u32 (!pos + 2)
       and height = u32 (!pos + 3)
       and ntex = u32 (!pos + 4) in
+      (* texture relocs must fit inside the chunk; checking before
+         List.init keeps a hostile count from sizing the list *)
+      if ntex > n - !pos - 5 then Errno.fail Errno.EINVAL "truncated IB packet";
       let textures =
         List.init ntex (fun i -> location_of t task (reloc_bo (u32 (!pos + 5 + i))))
       in

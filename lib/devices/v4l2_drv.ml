@@ -106,6 +106,10 @@ let handle_reqbufs t task ~arg =
   let data = Uaccess.copy_from_user task ~uaddr ~len:8 in
   let count = Int32.to_int (Bytes.get_int32_le data 0) in
   if count <= 0 || count > 32 then Errno.fail Errno.EINVAL "reqbufs: bad count";
+  (* reallocating the buffer table mid-stream would yank the array out
+     from under the sensor and every mmap cookie derived from it; real
+     V4L2 refuses with EBUSY while streaming *)
+  if t.streaming then Errno.fail Errno.EBUSY "reqbufs: streaming";
   let vm = Kernel.vm t.kernel in
   t.buffers <-
     Array.init count (fun index ->
@@ -177,6 +181,9 @@ let handle_s_fmt t task ~arg =
   and h = Int32.to_int (Bytes.get_int32_le data 4) in
   if w <= 0 || h <= 0 || w > 4096 || h > 4096 then
     Errno.fail Errno.EINVAL "s_fmt: bad resolution";
+  (* growing the frame size mid-stream would outgrow buffers already
+     allocated and mapped at the old size *)
+  if t.streaming then Errno.fail Errno.EBUSY "s_fmt: streaming";
   t.width <- w;
   t.height <- h;
   Uaccess.copy_to_user task ~uaddr data;

@@ -30,6 +30,21 @@
       and the grammar campaign must reach strictly more distinct
       decode branches.
 
+   5. Per-class ioctl grammar sweep: for each of the five analyzed
+      device classes (gpu, input, camera, audio, net) the fact-driven
+      generator ([Ioctl_guard.Fuzz]) builds argument structs in the
+      app's own address space — well-formed seeds mixed with
+      single-fact violations — and pumps them through
+      [Cvd_back.serve_one] against the real device.  Gates: no escaped
+      exception; every fact-violating input is rejected with EINVAL by
+      the generated sanitizer; each class's campaign reaches strictly
+      more [handler.<class>.*]/[sanitize.<class>.*] branches than the
+      transport-level grammar campaign (which never speaks the ioctl
+      argument grammar); a hostile sibling spamming violations is
+      quarantined while a victim guest keeps 100% noop service; and
+      the five clean workloads produce bit-identical simulated-time
+      metrics with sanitizers on vs. off.
+
    A machine-readable summary (including per-seed coverage) is written
    to HOSTILE_fuzz.json for the CI artifact. *)
 
@@ -307,8 +322,9 @@ let inject_campaign ~tag ~descriptor seed =
       (Printexc.to_string e)
 
 (* Run one mutator over every seed with coverage on; returns the
-   per-seed (decode, sanitize) distinct-branch counts and the
-   campaign-wide unions. *)
+   per-seed (decode, sanitize) distinct-branch counts, the
+   campaign-wide unions, and the union label set itself (campaign 5
+   compares its per-class families against it). *)
 let coverage_campaign ~tag ~descriptor =
   let union : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   W.Coverage.enable ();
@@ -324,15 +340,370 @@ let coverage_campaign ~tag ~descriptor =
       seeds
   in
   W.Coverage.disable ();
-  let union_count p =
-    Hashtbl.fold (fun l () acc -> if p l then acc + 1 else acc) union 0
-  in
-  (per_seed, union_count is_decode_label, union_count is_sanitize_label)
+  let labels = Hashtbl.fold (fun l () acc -> l :: acc) union [] in
+  let union_count p = List.length (List.filter p labels) in
+  (per_seed, union_count is_decode_label, union_count is_sanitize_label, labels)
 
 let grammar_descriptor rng ~pid =
   P.Fuzz.descriptor rng ~grant_ref:(Sim.Rng.int rng 8) ~pid
 
 let blind_descriptor rng ~pid = mutated_descriptor rng ~pid
+
+(* ---- campaign 5: per-class ioctl grammar sweep ---- *)
+
+module IG = Paradice.Ioctl_guard
+module F = Analyzer.Facts
+
+let ioctl_seeds =
+  [ 0x10C7_0001L; 0x10C7_0002L; 0x10C7_0003L; 0x10C7_0004L; 0x10C7_0005L ]
+
+let ioctl_descs_per_seed = 500
+
+(* One attach function + device path per analyzed class. *)
+let ioctl_classes =
+  [
+    ("gpu", (fun m -> ignore (M.attach_gpu m ())), "/dev/dri/card0");
+    ("input", (fun m -> ignore (M.attach_mouse m)), "/dev/input/event0");
+    ("camera", (fun m -> ignore (M.attach_camera m ())), "/dev/video0");
+    ("audio", (fun m -> ignore (M.attach_audio m)), "/dev/snd/pcm0");
+    ("net", (fun m -> ignore (M.attach_netmap m)), "/dev/netmap");
+  ]
+
+let is_class_handler_label cls l =
+  String.starts_with ~prefix:("handler." ^ cls ^ ".") l
+
+let is_class_sanitize_label cls l =
+  String.starts_with ~prefix:("sanitize." ^ cls ^ ".") l
+
+let guard_limits config =
+  {
+    W.max_transfer_bytes = config.Paradice.Config.max_transfer_bytes;
+    poll_timeout_cap_us = config.Paradice.Config.poll_timeout_cap_us;
+    grant_capacity = Hypervisor.Grant_table.capacity;
+  }
+
+(* The fact-driven generators build argument structs directly in the
+   app's address space, exactly where a real guest process would put
+   them. *)
+let guest_mem app =
+  {
+    IG.Fuzz.alloc = (fun n -> Task.alloc_buf app (max n 8));
+    write32 = (fun ~addr v -> Task.write_u32 app ~gva:addr v);
+    write64 = (fun ~addr v -> Task.write_u64 app ~gva:addr v);
+  }
+
+(* A fuzz-class machine: device attached, one guest, quarantine off
+   (keep dispatching) and grant validation off (the handlers' own
+   copies must run, not be cut short at the grant gate).  [f] gets the
+   opened vfd plus everything needed to pump descriptors. *)
+let with_class_machine ~dev_class ~attach ~path ~config f =
+  let m = M.create ~config () in
+  attach m;
+  let g = M.add_guest m ~name:(dev_class ^ "-fuzz") () in
+  run_in (M.engine m) (fun () ->
+      let link = g.M.link in
+      let w = Kernel.spawn_task (M.driver_kernel m) ~name:"class-fuzz-worker" in
+      let app = M.spawn_app m g.M.kernel ~name:(dev_class ^ "-app") in
+      let pid = app.Defs.pid in
+      let vfd =
+        match
+          CB.serve_one m.M.backend link w
+            (P.encode_request ~grant_ref:0 ~pid (P.Ropen { path }))
+        with
+        | P.Rok vfd -> vfd
+        | _ ->
+            violation "class=%s: open %s failed" dev_class path;
+            -1
+      in
+      (* blocking handlers (e.g. a streaming camera's DQBUF on an
+         empty queue) must return EAGAIN, not wedge the sweep *)
+      (match Hashtbl.find_opt link.CB.files vfd with
+      | Some fs -> fs.CB.file.Defs.nonblock <- true
+      | None -> ());
+      let serve req =
+        CB.serve_one m.M.backend link w (P.encode_request ~grant_ref:0 ~pid req)
+      in
+      f ~link ~app ~vfd ~serve)
+
+let class_config =
+  {
+    Paradice.Config.default with
+    Paradice.Config.quarantine_threshold = 0;
+    validate_grants = false;
+  }
+
+(* One seed of the per-class sweep: [ioctl_descs_per_seed] descriptors,
+   half well-formed, half carrying one injected fact violation (or a
+   wild pointer). *)
+let class_fuzz_seed ~dev_class ~attach ~path ~served ~rejected ~escapes seed =
+  with_class_machine ~dev_class ~attach ~path ~config:class_config
+    (fun ~link ~app ~vfd ~serve ->
+      let rng = Sim.Rng.create ~seed in
+      let rand n = Sim.Rng.int rng n in
+      let mem = guest_mem app in
+      let limits = guard_limits class_config in
+      let cmds = Array.of_list (IG.Fuzz.cmds ~dev_class) in
+      for i = 1 to ioctl_descs_per_seed do
+        let cmd = cmds.(rand (Array.length cmds)) in
+        let arg =
+          if rand 2 = 0 then IG.Fuzz.mutate ~rand ~limits mem ~dev_class ~cmd
+          else IG.Fuzz.seed ~rand mem ~dev_class ~cmd
+        in
+        match serve (P.Rioctl { vfd; cmd; arg }) with
+        | P.Rok _ | P.Rerr _ | P.Rpoll_reply _ | P.Rbatch_reply _ -> incr served
+        | exception e ->
+            incr escapes;
+            violation "class=%s seed=%#Lx desc=%d: exception escaped: %s"
+              dev_class seed i (Printexc.to_string e)
+      done;
+      (* drop the fd so device-side activity (camera sensor, NIC)
+         quiesces and the engine can go idle *)
+      ignore (serve (P.Rrelease { vfd }));
+      rejected := !rejected + link.CB.rejected)
+
+type class_result = {
+  cr_class : string;
+  cr_served : int;
+  cr_rejected : int;
+  cr_escapes : int;
+  cr_per_seed : (int64 * int * int) list; (* seed, handler, sanitize *)
+  cr_handler_branches : int;
+  cr_sanitize_branches : int;
+}
+
+let class_campaign ~dev_class ~attach ~path =
+  let union : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let served = ref 0 and rejected = ref 0 and escapes = ref 0 in
+  W.Coverage.enable ();
+  let per_seed =
+    List.map
+      (fun seed ->
+        W.Coverage.reset ();
+        class_fuzz_seed ~dev_class ~attach ~path ~served ~rejected ~escapes
+          seed;
+        let snap = W.Coverage.snapshot () in
+        List.iter (fun (l, _) -> Hashtbl.replace union l ()) snap;
+        let count p = List.length (List.filter (fun (l, _) -> p l) snap) in
+        ( seed,
+          count (is_class_handler_label dev_class),
+          count (is_class_sanitize_label dev_class) ))
+      ioctl_seeds
+  in
+  W.Coverage.disable ();
+  let union_count p =
+    Hashtbl.fold (fun l () acc -> if p l then acc + 1 else acc) union 0
+  in
+  {
+    cr_class = dev_class;
+    cr_served = !served;
+    cr_rejected = !rejected;
+    cr_escapes = !escapes;
+    cr_per_seed = per_seed;
+    cr_handler_branches = union_count (is_class_handler_label dev_class);
+    cr_sanitize_branches = union_count (is_class_sanitize_label dev_class);
+  }
+
+let check_offset_width = function
+  | F.Check_range { offset; width; _ } -> (offset, width)
+  | F.Check_len { offset; width; _ } -> (offset, width)
+
+(* Deterministic rejection sweep: for every generated check that has a
+   violating value, seed a well-formed struct, overwrite the checked
+   field with the violation, and require the sanitizer to answer
+   EINVAL and bump the link's reject counter. *)
+let reject_sweep ~dev_class ~attach ~path =
+  with_class_machine ~dev_class ~attach ~path ~config:class_config
+    (fun ~link ~app ~vfd ~serve ->
+      let rng = Sim.Rng.create ~seed:0x7E7E_0001L in
+      let rand n = Sim.Rng.int rng n in
+      let mem = guest_mem app in
+      let limits = guard_limits class_config in
+      let facts =
+        match Analyzer.Classes.facts_for dev_class with
+        | Some f -> f
+        | None ->
+            violation "class=%s: no facts in the registry" dev_class;
+            { F.fd_driver = dev_class; fd_version = ""; fd_handlers = [] }
+      in
+      let einval = Errno.to_code Errno.EINVAL in
+      List.iter
+        (fun hf ->
+          List.iter
+            (fun c ->
+              match IG.Fuzz.violation_value ~rand ~limits c with
+              | None -> ()
+              | Some bad ->
+                  let before = link.CB.rejected in
+                  let arg =
+                    IG.Fuzz.seed ~rand mem ~dev_class ~cmd:hf.F.hf_cmd
+                  in
+                  let offset, width = check_offset_width c in
+                  let addr = Int64.to_int arg + offset in
+                  if width = 8 then
+                    mem.IG.Fuzz.write64 ~addr (Int64.of_int bad)
+                  else mem.IG.Fuzz.write32 ~addr bad;
+                  (match serve (P.Rioctl { vfd; cmd = hf.F.hf_cmd; arg }) with
+                  | P.Rerr e when e = einval -> ()
+                  | r ->
+                      violation
+                        "class=%s %s/%s: violating input was not EINVAL \
+                         (got %s)"
+                        dev_class hf.F.hf_name (F.check_label c)
+                        (match r with
+                        | P.Rok v -> Printf.sprintf "Rok %d" v
+                        | P.Rerr e -> Printf.sprintf "Rerr %d" e
+                        | _ -> "other"));
+                  if link.CB.rejected <= before then
+                    violation
+                      "class=%s %s/%s: sanitizer reject did not feed the \
+                       link counter"
+                      dev_class hf.F.hf_name (F.check_label c))
+            (F.checks hf))
+        facts.F.fd_handlers)
+
+(* Quarantine isolation at the ioctl grammar level: a sibling guest
+   spamming one fact-violating ioctl must cross the misbehavior
+   threshold and be cut off, while a victim guest keeps full noop
+   service on the same machine. *)
+let class_quarantine ~dev_class ~attach ~path =
+  let m = M.create () in
+  attach m;
+  let attacker = M.add_guest m ~name:(dev_class ^ "-attacker") () in
+  let victim = M.add_guest m ~name:(dev_class ^ "-victim") () in
+  let vic_ok = ref 0 in
+  let vic_noops = 50 in
+  run_in (M.engine m) (fun () ->
+      let rng = Sim.Rng.create ~seed:0xBAD1_0C71L in
+      let rand n = Sim.Rng.int rng n in
+      let wa = Kernel.spawn_task (M.driver_kernel m) ~name:"atk-worker" in
+      let wv = Kernel.spawn_task (M.driver_kernel m) ~name:"vic-worker" in
+      let atk = M.spawn_app m attacker.M.kernel ~name:"atk-app" in
+      let vic = M.spawn_app m victim.M.kernel ~name:"vic-app" in
+      let limits = guard_limits Paradice.Config.default in
+      let hostile =
+        match Analyzer.Classes.facts_for dev_class with
+        | None -> None
+        | Some facts ->
+            List.find_map
+              (fun hf ->
+                List.find_map
+                  (fun c ->
+                    match IG.Fuzz.violation_value ~rand ~limits c with
+                    | Some bad -> Some (hf, c, bad)
+                    | None -> None)
+                  (F.checks hf))
+              facts.F.fd_handlers
+      in
+      match hostile with
+      | None -> violation "class=%s: no violating value to quarantine on"
+                  dev_class
+      | Some (hf, c, bad) ->
+          let vfd =
+            match
+              CB.serve_one m.M.backend attacker.M.link wa
+                (P.encode_request ~grant_ref:0 ~pid:atk.Defs.pid
+                   (P.Ropen { path }))
+            with
+            | P.Rok vfd -> vfd
+            | _ ->
+                violation "class=%s: attacker open failed" dev_class;
+                -1
+          in
+          let mem = guest_mem atk in
+          let offset, width = check_offset_width c in
+          let tries = ref 0 in
+          while (not attacker.M.link.CB.quarantined) && !tries < 60 do
+            incr tries;
+            let arg = IG.Fuzz.seed ~rand mem ~dev_class ~cmd:hf.F.hf_cmd in
+            let addr = Int64.to_int arg + offset in
+            if width = 8 then mem.IG.Fuzz.write64 ~addr (Int64.of_int bad)
+            else mem.IG.Fuzz.write32 ~addr bad;
+            ignore
+              (CB.serve_one m.M.backend attacker.M.link wa
+                 (P.encode_request ~grant_ref:0 ~pid:atk.Defs.pid
+                    (P.Rioctl { vfd; cmd = hf.F.hf_cmd; arg })))
+          done;
+          let noop =
+            P.encode_request ~grant_ref:0 ~pid:vic.Defs.pid P.Rnoop
+          in
+          for _ = 1 to vic_noops do
+            match CB.serve_one m.M.backend victim.M.link wv noop with
+            | P.Rok 0 -> incr vic_ok
+            | _ -> ()
+            | exception _ -> ()
+          done);
+  if not attacker.M.link.CB.quarantined then
+    violation "class=%s: ioctl attacker was not quarantined" dev_class;
+  if victim.M.link.CB.quarantined then
+    violation "class=%s: victim got quarantined" dev_class;
+  if !vic_ok <> vic_noops then
+    violation "class=%s: victim served %d/%d noops next to the attacker"
+      dev_class !vic_ok vic_noops;
+  let audit = Hypervisor.Hyp.audit (M.hyp m) in
+  if audit.Hypervisor.Audit.quarantines <> 1 then
+    violation "class=%s: expected 1 quarantine, audit says %d" dev_class
+      audit.Hypervisor.Audit.quarantines
+
+(* Clean-workload control: the five device-class workloads, run on the
+   standard Paradice setup with sanitizers on vs. off, must produce
+   bit-identical simulated-time metrics — the generated checks re-read
+   arguments without charging simulated time, so honest guests cannot
+   observe them. *)
+let clean_workloads config =
+  let mode = Baselines.Setup.Paradice config in
+  let gfx =
+    let _m, env = Baselines.Setup.make ~devices:[ Baselines.Setup.Gpu ] mode in
+    Workloads.Gfx.run env ~profile:Workloads.Gfx.vbo ~width:640 ~height:480
+      ~frames:10 ()
+  in
+  let cam =
+    let _m, env =
+      Baselines.Setup.make ~devices:[ Baselines.Setup.Camera ] mode
+    in
+    Workloads.Camera_app.run env ~width:640 ~height:480 ~frames:10 ()
+  in
+  let audio =
+    let _m, env =
+      Baselines.Setup.make ~devices:[ Baselines.Setup.Audio ] mode
+    in
+    Workloads.Audio_app.run env ~seconds:0.2 ()
+  in
+  let net =
+    let _m, env =
+      Baselines.Setup.make ~devices:[ Baselines.Setup.Netmap ] mode
+    in
+    (Workloads.Netmap_pktgen.run env ~packets:2000 ~batch:64 ())
+      .Workloads.Netmap_pktgen.rate_mpps
+  in
+  let input =
+    let _m, env =
+      Baselines.Setup.make ~devices:[ Baselines.Setup.Mouse ] mode
+    in
+    Workloads.Mouse_latency.run env ~moves:20 ()
+  in
+  [
+    ("gfx_fps", gfx);
+    ("camera_fps", cam);
+    ("audio_rate", audio);
+    ("netmap_mpps", net);
+    ("mouse_latency_us", input);
+  ]
+
+let clean_control () =
+  let on =
+    clean_workloads { Paradice.Config.default with Paradice.Config.ioctl_guards = true }
+  in
+  let off =
+    clean_workloads { Paradice.Config.default with Paradice.Config.ioctl_guards = false }
+  in
+  List.iter2
+    (fun (name, a) (_, b) ->
+      if Int64.bits_of_float a <> Int64.bits_of_float b then
+        violation
+          "clean workload %s drifted with sanitizers on: on=%.9g off=%.9g"
+          name a b)
+    on off;
+  on
 
 (* ---- campaign 3: victim throughput vs. solo baseline ---- *)
 
@@ -385,10 +756,10 @@ let victim_elapsed ~attack =
 let () =
   List.iter fuzz_seed seeds;
   List.iter through_ring_attack [ 0x1AB0_0001L; 0x1AB0_0002L ];
-  let grammar_per_seed, grammar_decode, grammar_sanitize =
+  let grammar_per_seed, grammar_decode, grammar_sanitize, grammar_labels =
     coverage_campaign ~tag:"grammar" ~descriptor:grammar_descriptor
   in
-  let _, blind_decode, blind_sanitize =
+  let _, blind_decode, blind_sanitize, _ =
     coverage_campaign ~tag:"blind" ~descriptor:blind_descriptor
   in
   if grammar_decode <= blind_decode then
@@ -396,6 +767,42 @@ let () =
       "grammar-aware mutator reached %d distinct decode branches, blind \
        byte-flips reached %d — grammar must be strictly ahead"
       grammar_decode blind_decode;
+  (* campaign 5: per-class ioctl sweeps, gated against the
+     transport-level grammar campaign's label set *)
+  let class_results =
+    List.map
+      (fun (dev_class, attach, path) ->
+        let r = class_campaign ~dev_class ~attach ~path in
+        reject_sweep ~dev_class ~attach ~path;
+        class_quarantine ~dev_class ~attach ~path;
+        let transport_handler =
+          List.length
+            (List.filter (is_class_handler_label dev_class) grammar_labels)
+        in
+        let transport_sanitize =
+          List.length
+            (List.filter (is_class_sanitize_label dev_class) grammar_labels)
+        in
+        if r.cr_handler_branches <= transport_handler then
+          violation
+            "class=%s: ioctl campaign hit %d handler branches, transport \
+             grammar hit %d — per-class grammar must be strictly ahead"
+            dev_class r.cr_handler_branches transport_handler;
+        if r.cr_sanitize_branches <= transport_sanitize then
+          violation
+            "class=%s: ioctl campaign hit %d sanitize branches, transport \
+             grammar hit %d — per-class grammar must be strictly ahead"
+            dev_class r.cr_sanitize_branches transport_sanitize;
+        if r.cr_sanitize_branches = 0 then
+          violation "class=%s: no sanitizer reject branch was ever reached"
+            dev_class;
+        if r.cr_rejected = 0 then
+          violation "class=%s: no hostile descriptor was ever rejected"
+            dev_class;
+        r)
+      ioctl_classes
+  in
+  let clean_metrics = clean_control () in
   let solo_us = victim_elapsed ~attack:false in
   let attacked_us = victim_elapsed ~attack:true in
   let ratio = attacked_us /. solo_us in
@@ -427,6 +834,12 @@ let () =
     "blind_decode_branches": %d,
     "blind_sanitize_branches": %d
   },
+  "class_campaigns": [
+%s
+  ],
+  "clean_control": [
+%s
+  ],
   "violations": %d
 }
 |}
@@ -440,7 +853,30 @@ let () =
               {|      { "seed": "%#Lx", "decode_branches": %d, "sanitize_rejects": %d }|}
               seed decode sanitize)
           grammar_per_seed))
-    grammar_decode grammar_sanitize blind_decode blind_sanitize n_violations;
+    grammar_decode grammar_sanitize blind_decode blind_sanitize
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              {|    { "class": "%s", "served": %d, "rejected": %d, "escapes": %d,
+      "handler_branches": %d, "sanitize_branches": %d,
+      "per_seed": [%s] }|}
+              r.cr_class r.cr_served r.cr_rejected r.cr_escapes
+              r.cr_handler_branches r.cr_sanitize_branches
+              (String.concat ", "
+                 (List.map
+                    (fun (seed, h, s) ->
+                      Printf.sprintf
+                        {|{ "seed": "%#Lx", "handler_branches": %d, "sanitize_branches": %d }|}
+                        seed h s)
+                    r.cr_per_seed)))
+          class_results))
+    (String.concat ",\n"
+       (List.map
+          (fun (name, v) ->
+            Printf.sprintf {|    { "metric": "%s", "value": %.9g }|} name v)
+          clean_metrics))
+    n_violations;
   close_out oc;
   Printf.printf
     "hostile suite: %d seeds x %d descriptors, %d served (ok=%d err=%d \
@@ -453,6 +889,17 @@ let () =
     "hostile suite: grammar fuzz decode=%d sanitize=%d branches (blind \
      decode=%d sanitize=%d)\n"
     grammar_decode grammar_sanitize blind_decode blind_sanitize;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "hostile suite: class %-6s served=%d rejected=%d escapes=%d \
+         handler=%d sanitize=%d branches\n"
+        r.cr_class r.cr_served r.cr_rejected r.cr_escapes
+        r.cr_handler_branches r.cr_sanitize_branches)
+    class_results;
+  Printf.printf "hostile suite: clean control bit-identical (%s)\n"
+    (String.concat ", "
+       (List.map (fun (n, v) -> Printf.sprintf "%s=%.4g" n v) clean_metrics));
   match !violations with
   | [] -> print_endline "hostile suite: OK"
   | vs ->

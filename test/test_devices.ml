@@ -426,6 +426,208 @@ let test_netmap_tx_line_rate () =
         true
         (rate_mpps > 1.3 && rate_mpps <= 1.5))
 
+(* ---- interface-audit regressions: trust-the-argument fixes ---- *)
+
+let expect_errno name want = function
+  | Error e when e = want -> ()
+  | Error e -> Alcotest.failf "%s: expected %s, got %s" name (Errno.to_string want) (Errno.to_string e)
+  | Ok _ -> Alcotest.failf "%s: expected %s, got success" name (Errno.to_string want)
+
+(* a CS whose IB chunk claims packets extending past the chunk used to
+   read out of bounds (Invalid_argument escape); it must be EINVAL *)
+let test_gpu_truncated_ib_rejected () =
+  let m, _drv = gpu_machine () in
+  run_in_process m.eng (fun () ->
+      let task = Kernel.spawn_task m.kernel ~name:"attacker" in
+      let fd = ok (Vfs.openf m.kernel task "/dev/dri/card0") in
+      let submit ib_words =
+        let ib_bytes = List.length ib_words * 4 in
+        let ib_buf = Task.alloc_buf task (max ib_bytes 4) in
+        List.iteri (fun i w -> put_u32 task ~gva:(ib_buf + (i * 4)) w) ib_words;
+        let reloc_buf = Task.alloc_buf task 4 in
+        let hdr_ib = Task.alloc_buf task Devices.Radeon_ioctl.cs_chunk_header_size in
+        put_u32 task ~gva:(hdr_ib + Devices.Radeon_ioctl.chunk_off_id)
+          Devices.Radeon_ioctl.chunk_id_ib;
+        put_u32 task ~gva:(hdr_ib + Devices.Radeon_ioctl.chunk_off_length_dw)
+          (List.length ib_words);
+        put_u64 task ~gva:(hdr_ib + Devices.Radeon_ioctl.chunk_off_data) ib_buf;
+        let hdr_re = Task.alloc_buf task Devices.Radeon_ioctl.cs_chunk_header_size in
+        put_u32 task ~gva:(hdr_re + Devices.Radeon_ioctl.chunk_off_id)
+          Devices.Radeon_ioctl.chunk_id_relocs;
+        put_u32 task ~gva:(hdr_re + Devices.Radeon_ioctl.chunk_off_length_dw) 0;
+        put_u64 task ~gva:(hdr_re + Devices.Radeon_ioctl.chunk_off_data) reloc_buf;
+        let ptrs = Task.alloc_buf task 16 in
+        put_u64 task ~gva:ptrs hdr_ib;
+        put_u64 task ~gva:(ptrs + 8) hdr_re;
+        let arg = Task.alloc_buf task Devices.Radeon_ioctl.cs_size in
+        put_u32 task ~gva:(arg + Devices.Radeon_ioctl.cs_off_num_chunks) 2;
+        put_u64 task ~gva:(arg + Devices.Radeon_ioctl.cs_off_chunks_ptr) ptrs;
+        Vfs.ioctl m.kernel task fd ~cmd:Devices.Radeon_ioctl.cs ~arg:(Int64.of_int arg)
+      in
+      (* a draw header cut off mid-packet *)
+      expect_errno "cut-off draw packet" Errno.EINVAL
+        (submit [ Devices.Radeon_ioctl.pkt_draw; 1 ]);
+      (* a hostile texture count scaling the reloc read run *)
+      expect_errno "hostile ntex" Errno.EINVAL
+        (submit [ Devices.Radeon_ioctl.pkt_draw; 1; 16; 16; 100_000 ]))
+
+let test_evdev_ioctl_surface () =
+  let m, ev = input_machine () in
+  run_in_process m.eng (fun () ->
+      let task = Kernel.spawn_task m.kernel ~name:"xorg" in
+      let fd = ok (Vfs.openf m.kernel task "/dev/input/event0") in
+      (* identity copy-out *)
+      let idb = Task.alloc_buf task 8 in
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocgid ~arg:(Int64.of_int idb))
+      in
+      let id = Task.read_mem task ~gva:idb ~len:8 in
+      Alcotest.(check int) "bustype" Devices.Evdev.id_bustype
+        (Bytes.get_uint16_le id 0);
+      Alcotest.(check int) "vendor" Devices.Evdev.id_vendor (Bytes.get_uint16_le id 2);
+      (* autorepeat: defaults out, valid update in, reflected back *)
+      let rep = Task.alloc_buf task 8 in
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocgrep ~arg:(Int64.of_int rep))
+      in
+      Alcotest.(check (pair int int)) "default autorepeat" (250, 33)
+        (get_u32 task ~gva:rep, get_u32 task ~gva:(rep + 4));
+      put_u32 task ~gva:rep 400;
+      put_u32 task ~gva:(rep + 4) 50;
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocsrep ~arg:(Int64.of_int rep))
+      in
+      Alcotest.(check (pair int int)) "autorepeat programmed" (400, 50)
+        (Devices.Evdev.autorepeat ev);
+      (* out-of-range parameters are rejected, state untouched *)
+      put_u32 task ~gva:rep (Devices.Evdev.rep_delay_max + 1);
+      put_u32 task ~gva:(rep + 4) 50;
+      expect_errno "huge delay" Errno.EINVAL
+        (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocsrep ~arg:(Int64.of_int rep));
+      put_u32 task ~gva:rep 400;
+      put_u32 task ~gva:(rep + 4) 0;
+      expect_errno "zero period" Errno.EINVAL
+        (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocsrep ~arg:(Int64.of_int rep));
+      Alcotest.(check (pair int int)) "rejected updates change nothing" (400, 50)
+        (Devices.Evdev.autorepeat ev);
+      (* grab is exclusive per file; release frees it *)
+      let fd2 = ok (Vfs.openf m.kernel task "/dev/input/event0") in
+      let (_ : int) = ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocgrab ~arg:1L) in
+      expect_errno "second grab" Errno.EBUSY
+        (Vfs.ioctl m.kernel task fd2 ~cmd:Devices.Evdev.eviocgrab ~arg:1L);
+      let (_ : int) = ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocgrab ~arg:0L) in
+      let (_ : int) = ok (Vfs.ioctl m.kernel task fd2 ~cmd:Devices.Evdev.eviocgrab ~arg:1L) in
+      (* closing the holder releases the grab *)
+      ok (Vfs.close m.kernel task fd2);
+      let (_ : int) = ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Evdev.eviocgrab ~arg:1L) in
+      expect_errno "unknown evdev ioctl" Errno.ENOTTY
+        (Vfs.ioctl m.kernel task fd ~cmd:0x4518 ~arg:0L))
+
+(* reconfiguration during streaming would yank frame buffers out from
+   under the sensor; both paths must be EBUSY until streamoff *)
+let test_camera_busy_while_streaming () =
+  let m, _cam = camera_machine () in
+  run_in_process m.eng (fun () ->
+      let task = Kernel.spawn_task m.kernel ~name:"guvcview" in
+      let fd = ok (Vfs.openf m.kernel task "/dev/video0") in
+      let req = Task.alloc_buf task 8 in
+      put_u32 task ~gva:req 2;
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.V4l2_drv.vidioc_reqbufs ~arg:(Int64.of_int req))
+      in
+      let qb = Task.alloc_buf task 8 in
+      put_u32 task ~gva:qb 0;
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.V4l2_drv.vidioc_qbuf ~arg:(Int64.of_int qb))
+      in
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.V4l2_drv.vidioc_streamon ~arg:0L)
+      in
+      put_u32 task ~gva:req 4;
+      expect_errno "reqbufs while streaming" Errno.EBUSY
+        (Vfs.ioctl m.kernel task fd ~cmd:Devices.V4l2_drv.vidioc_reqbufs ~arg:(Int64.of_int req));
+      let fmt = Task.alloc_buf task 8 in
+      put_u32 task ~gva:fmt 640;
+      put_u32 task ~gva:(fmt + 4) 480;
+      expect_errno "s_fmt while streaming" Errno.EBUSY
+        (Vfs.ioctl m.kernel task fd ~cmd:Devices.V4l2_drv.vidioc_s_fmt ~arg:(Int64.of_int fmt));
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.V4l2_drv.vidioc_streamoff ~arg:0L)
+      in
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.V4l2_drv.vidioc_s_fmt ~arg:(Int64.of_int fmt))
+      in
+      ())
+
+(* a u32 rate of 0xFFFFFFFF must not sign-wrap into the valid range *)
+let test_audio_hostile_rate_rejected () =
+  let m = make_machine () in
+  let pcm = Devices.Pcm_drv.create m.kernel in
+  let (_ : Defs.device) = Devices.Pcm_drv.register pcm ~path:"/dev/snd/pcm0" in
+  Devices.Pcm_drv.start_codec pcm;
+  run_in_process m.eng (fun () ->
+      let task = Kernel.spawn_task m.kernel ~name:"attacker" in
+      let fd = ok (Vfs.openf m.kernel task "/dev/snd/pcm0") in
+      let arg = Task.alloc_buf task 8 in
+      let bps0 = Devices.Pcm_drv.bytes_per_second pcm in
+      put_u32 task ~gva:arg 0xFFFFFFFF;
+      put_u32 task ~gva:(arg + 4) 2;
+      expect_errno "wrapped rate" Errno.EINVAL
+        (Vfs.ioctl m.kernel task fd ~cmd:Devices.Pcm_drv.set_rate_ioctl ~arg:(Int64.of_int arg));
+      put_u32 task ~gva:arg 48_000;
+      put_u32 task ~gva:(arg + 4) 0;
+      expect_errno "zero channels" Errno.EINVAL
+        (Vfs.ioctl m.kernel task fd ~cmd:Devices.Pcm_drv.set_rate_ioctl ~arg:(Int64.of_int arg));
+      Alcotest.(check int) "rejected rate leaves codec untouched" bps0
+        (Devices.Pcm_drv.bytes_per_second pcm);
+      put_u32 task ~gva:(arg + 4) 2;
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Pcm_drv.set_rate_ioctl ~arg:(Int64.of_int arg))
+      in
+      Alcotest.(check int) "valid rate programmed" (48_000 * 2 * 2)
+        (Devices.Pcm_drv.bytes_per_second pcm))
+
+let test_netmap_bad_ringid_rejected () =
+  let m, _nm = netmap_machine () in
+  run_in_process m.eng (fun () ->
+      let task = Kernel.spawn_task m.kernel ~name:"attacker" in
+      let fd = ok (Vfs.openf m.kernel task "/dev/netmap") in
+      let arg = Task.alloc_buf task 16 in
+      put_u32 task ~gva:arg 7;
+      expect_errno "nonexistent ring" Errno.EINVAL
+        (Vfs.ioctl m.kernel task fd ~cmd:Devices.Netmap_drv.nioc_regif ~arg:(Int64.of_int arg)))
+
+(* [cur] lives in the mmap'd ring header, so it is attacker-controlled:
+   an out-of-range value used to unhinge the NIC's mod-ring walk into
+   transmitting forever; it must invalidate the sync instead *)
+let test_netmap_hostile_cur_bounded () =
+  let m, nm = netmap_machine () in
+  run_in_process m.eng (fun () ->
+      let task = Kernel.spawn_task m.kernel ~name:"attacker" in
+      let fd = ok (Vfs.openf m.kernel task "/dev/netmap") in
+      let gva = ok (Vfs.mmap m.kernel task fd ~len:(Devices.Netmap_drv.ring_bytes nm) ~pgoff:0) in
+      let (_ : bytes) = Vfs.user_read m.kernel task ~gva ~len:16 in
+      (* cur far beyond num_slots, straight through the shared header *)
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 5000l;
+      Vfs.user_write m.kernel task ~gva:(gva + Devices.Netmap_drv.hdr_cur) b;
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Netmap_drv.nioc_txsync ~arg:0L)
+      in
+      Sim.Engine.wait 10_000.;
+      Alcotest.(check int) "invalid cur transmits nothing" 0
+        (Devices.Netmap_drv.tx_packets nm);
+      (* a subsequent honest sync still works *)
+      Bytes.set_int32_le b 0 3l;
+      Vfs.user_write m.kernel task ~gva:(gva + Devices.Netmap_drv.hdr_cur) b;
+      let (_ : int) =
+        ok (Vfs.ioctl m.kernel task fd ~cmd:Devices.Netmap_drv.nioc_txsync ~arg:0L)
+      in
+      while Devices.Netmap_drv.tx_packets nm < 3 do
+        Sim.Engine.wait 50.
+      done;
+      Alcotest.(check int) "honest sync transmits" 3 (Devices.Netmap_drv.tx_packets nm))
+
 let suites =
   [
     ( "devices.gpu",
@@ -438,22 +640,31 @@ let suites =
         Alcotest.test_case "info nested write" `Quick test_gpu_info_ioctl;
         Alcotest.test_case "mc bounds block access" `Quick test_gpu_mc_bounds_block;
         Alcotest.test_case "unbound dma faults" `Quick test_gpu_unbound_dma_faults;
+        Alcotest.test_case "truncated IB rejected" `Quick test_gpu_truncated_ib_rejected;
       ] );
     ( "devices.input",
       [
         Alcotest.test_case "read blocks and delivers" `Quick test_evdev_read_blocks_and_delivers;
         Alcotest.test_case "nonblocking read" `Quick test_evdev_nonblock;
         Alcotest.test_case "fasync notification" `Quick test_evdev_fasync_notification;
+        Alcotest.test_case "ioctl surface" `Quick test_evdev_ioctl_surface;
       ] );
     ( "devices.camera",
       [
         Alcotest.test_case "streaming at sensor rate" `Quick test_camera_streaming;
         Alcotest.test_case "mmap'd frame readable" `Quick test_camera_mmap_frame;
+        Alcotest.test_case "busy while streaming" `Quick test_camera_busy_while_streaming;
       ] );
-    ("devices.audio", [ Alcotest.test_case "realtime playback" `Quick test_audio_realtime_playback ]);
+    ( "devices.audio",
+      [
+        Alcotest.test_case "realtime playback" `Quick test_audio_realtime_playback;
+        Alcotest.test_case "hostile rate rejected" `Quick test_audio_hostile_rate_rejected;
+      ] );
     ( "devices.net",
       [
         Alcotest.test_case "regif and ring mmap" `Quick test_netmap_regif_and_mmap;
         Alcotest.test_case "tx at line rate" `Quick test_netmap_tx_line_rate;
+        Alcotest.test_case "bad ringid rejected" `Quick test_netmap_bad_ringid_rejected;
+        Alcotest.test_case "hostile cur bounded" `Quick test_netmap_hostile_cur_bounded;
       ] );
   ]
